@@ -1,0 +1,120 @@
+//! Wall-clock Criterion micro-benchmarks of the stateful library itself
+//! (not part of the paper's evaluation — this measures the *reproduction's*
+//! own data-structure performance, useful when hacking on `nf-lib`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bolt_see::{ConcreteCtx, NfCtx};
+use bolt_trace::{AddressSpace, NullTracer};
+use bolt_expr::Width;
+use nf_lib::flow_table::{self, FlowTable, FlowTableOps, FlowTableParams};
+use nf_lib::lpm_dir24_8::{self, Dir24_8, Dir24_8Ops};
+use nf_lib::maglev::{self, MaglevRing, MaglevRingOps};
+use nf_lib::port_alloc::{self, AllocatorA, AllocatorB, PortAllocOps};
+use nf_lib::registry::DsRegistry;
+use std::hint::black_box;
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut reg = DsRegistry::new();
+    let params = FlowTableParams {
+        capacity: 4096,
+        ttl_ns: u64::MAX / 2,
+    };
+    let ids = flow_table::register::<3>(&mut reg, "ft", "", params);
+    let mut aspace = AddressSpace::new();
+    let mut table = FlowTable::<3>::new(ids, params, &mut aspace);
+    let mut t = NullTracer;
+    let mut ctx = ConcreteCtx::new(&mut t);
+    let now = ctx.lit(0, Width::W64);
+    for i in 0..2048u64 {
+        let k = [ctx.lit(i, Width::W64), ctx.lit(1, Width::W64), ctx.lit(2, Width::W64)];
+        let v = ctx.lit(i, Width::W64);
+        assert!(FlowTableOps::<_, 3>::put(&mut table, &mut ctx, &k, v, now));
+    }
+    let mut i = 0u64;
+    c.bench_function("flow_table_get_hit", |b| {
+        b.iter(|| {
+            let k = [
+                ctx.lit(i % 2048, Width::W64),
+                ctx.lit(1, Width::W64),
+                ctx.lit(2, Width::W64),
+            ];
+            i += 1;
+            black_box(FlowTableOps::<_, 3>::get(&mut table, &mut ctx, &k, now))
+        })
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut reg = DsRegistry::new();
+    let ids = lpm_dir24_8::register(&mut reg, "lpm");
+    let mut aspace = AddressSpace::new();
+    let mut table = Dir24_8::new(ids, 16, 64, 0, &mut aspace);
+    table.insert(0x0A000000, 8, 1);
+    table.insert(0x0B0C0000, 24, 2);
+    let mut t = NullTracer;
+    let mut ctx = ConcreteCtx::new(&mut t);
+    let mut x = 0u64;
+    c.bench_function("dir24_8_lookup", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(0x01000193);
+            let ip = ctx.lit(x & 0xFFFF_FFFF, Width::W32);
+            black_box(Dir24_8Ops::<_>::lookup(&mut table, &mut ctx, ip))
+        })
+    });
+}
+
+fn bench_maglev(c: &mut Criterion) {
+    let mut reg = DsRegistry::new();
+    let ids = maglev::register_ring(&mut reg, "ring", 16, 65537);
+    let mut aspace = AddressSpace::new();
+    let mut ring = MaglevRing::new(ids, 16, 65537, &mut aspace);
+    let mut t = NullTracer;
+    let mut ctx = ConcreteCtx::new(&mut t);
+    let mut x = 0u64;
+    c.bench_function("maglev_lookup", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(0x9E3779B9);
+            let h = ctx.lit(x, Width::W64);
+            black_box(MaglevRingOps::<_>::lookup(&mut ring, &mut ctx, h))
+        })
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut reg = DsRegistry::new();
+    let ia = port_alloc::register_a(&mut reg, "a", 4096, 1024);
+    let ib = port_alloc::register_b(&mut reg, "b", 4096, 1024);
+    let mut aspace = AddressSpace::new();
+    let mut a = AllocatorA::new(ia, 4096, 1024, &mut aspace);
+    let mut b_ = AllocatorB::new(ib, 4096, 1024, &mut aspace);
+    let mut t = NullTracer;
+    let mut ctx = ConcreteCtx::new(&mut t);
+    c.bench_function("allocator_a_roundtrip", |bch| {
+        bch.iter(|| {
+            let p = PortAllocOps::<_>::alloc(&mut a, &mut ctx).unwrap();
+            PortAllocOps::<_>::free(&mut a, &mut ctx, p);
+            black_box(p)
+        })
+    });
+    c.bench_function("allocator_b_roundtrip", |bch| {
+        bch.iter(|| {
+            let p = PortAllocOps::<_>::alloc(&mut b_, &mut ctx).unwrap();
+            PortAllocOps::<_>::free(&mut b_, &mut ctx, p);
+            black_box(p)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_flow_table, bench_lpm, bench_maglev, bench_allocators
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 6: the VigNAT performance contract — instructions per traffic
+//! type as a function of expired flows `e`, collisions `c`, and
+//! traversals `t`. The expired-flow term dominates by an order of
+//! magnitude, which is the §5.3 debugging story: long tail latencies were
+//! batched flow expiry.
+
+use bolt_bench::table_fmt::print_table;
+use bolt_core::{generate, ClassSpec, InputClass};
+use bolt_expr::{Monomial, PcvAssignment};
+use bolt_nfs::nat;
+use bolt_solver::Solver;
+use bolt_trace::Metric;
+use dpdk_sim::StackLevel;
+
+fn main() {
+    let cfg = nat::NatConfig::default();
+    let (reg, ids, exploration) = nat::explore(&cfg, nat::AllocKind::A, StackLevel::FullStack);
+    let mut contract = generate(&reg, exploration);
+    let solver = Solver::default();
+    let classes = [
+        InputClass::new("Invalid packets (dropped)", ClassSpec::Tag("invalid")),
+        InputClass::new("Known flows (forwarded)", ClassSpec::Tag("int:known")),
+        InputClass::new("New external flows (dropped)", ClassSpec::Tag("ext:new")),
+        InputClass::new("New internal flows; table full (dropped)", ClassSpec::Tag("int:full")),
+        InputClass::new("New internal flows; ports exhausted (dropped)", ClassSpec::Tag("int:exhausted")),
+        InputClass::new("New internal flows; table not full (forwarded)", ClassSpec::Tag("int:new")),
+    ];
+    let env = PcvAssignment::new();
+    let rows: Vec<Vec<String>> = classes
+        .iter()
+        .map(|c| {
+            let q = contract
+                .query(&solver, c, Metric::Instructions, &env)
+                .unwrap();
+            vec![c.name.clone(), format!("{}", q.expr.display(&reg.pcvs))]
+        })
+        .collect();
+    print_table(
+        "Table 6 — VigNAT contract (paper shape: a·e + b·c + d·t + f·e·c + g·e·t + const)",
+        &["Traffic type", "Instructions"],
+        &rows,
+    );
+    // §5.3's observation: the expired-flows term dominates.
+    let known = contract
+        .query(&solver, &classes[1], Metric::Instructions, &env)
+        .unwrap()
+        .expr;
+    let e_coeff = known.coeff(&Monomial::var(ids.ft.e));
+    let c_coeff = known.coeff(&Monomial::var(ids.ft.c));
+    println!(
+        "\nPCV 'e' coefficient ({e_coeff}) dominates 'c' ({c_coeff}) — the §5.3 tail-latency smoking gun."
+    );
+    assert!(e_coeff > 3 * c_coeff);
+}

@@ -1,0 +1,13 @@
+//! Shared scenario engine for the reproduction harnesses.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the paper; the scenario plumbing they share lives here:
+//!
+//! * [`scenarios`] — the fourteen §5.1 input-class scenarios (NAT1–4,
+//!   Br1–3, LB1–5, LPM1–2): state preparation, per-class workloads,
+//!   predicted-vs-measured collection for all three metrics.
+//! * [`table_fmt`] — fixed-width table printing matching the paper's
+//!   layout.
+
+pub mod scenarios;
+pub mod table_fmt;

@@ -1,0 +1,68 @@
+//! Fixed-width table rendering for the reproduction harnesses.
+
+/// Print a header + rows with per-column widths derived from content.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// `x.yz` formatting for ratios.
+pub fn ratio(pred: u64, measured: u64) -> String {
+    if measured == 0 {
+        return "-".to_string();
+    }
+    format!("{:.2}", pred as f64 / measured as f64)
+}
+
+/// Percent over-estimation `(pred-meas)/meas`.
+pub fn overestimate_pct(pred: u64, measured: u64) -> String {
+    if measured == 0 {
+        return "-".to_string();
+    }
+    format!("{:+.2}%", (pred as f64 - measured as f64) / measured as f64 * 100.0)
+}
+
+/// Thousands-separated integer.
+pub fn human(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(ratio(900, 300), "3.00");
+        assert_eq!(ratio(1, 0), "-");
+        assert_eq!(human(1234567), "1,234,567");
+        assert_eq!(human(12), "12");
+        assert_eq!(overestimate_pct(107, 100), "+7.00%");
+    }
+}

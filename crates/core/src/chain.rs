@@ -1,0 +1,400 @@
+//! NF-chain composition (§3.4).
+//!
+//! Two contracts compose by pairing execution paths: an upstream path
+//! that forwards is paired with every downstream path whose constraints
+//! are compatible once the upstream NF's *output* packet expressions are
+//! equated with the downstream NF's *input* symbols. Incompatible pairs
+//! are discarded — which is exactly how the firewall masks the router's
+//! expensive IP-options path in §5.2 (Figure 3 / Table 5c). Upstream
+//! paths that drop the packet appear in the composed contract on their
+//! own.
+//!
+//! Both contracts keep their own term pools; composition migrates terms
+//! into a joint pool, remapping every symbol to a fresh one prefixed by
+//! the NF's name.
+
+use std::collections::HashMap;
+
+use bolt_expr::{PcvAssignment, PerfExpr, Term, TermPool, TermRef};
+use bolt_see::symbolic::PacketField;
+use bolt_see::NfVerdict;
+use bolt_solver::Solver;
+use bolt_trace::Metric;
+
+use crate::contract::{NfContract, PathContract};
+
+/// Rebuild a [`PacketField`] around a migrated symbol term.
+fn field_of(pool: &TermPool, offset: u64, bytes: u8, term: TermRef) -> Option<PacketField> {
+    match *pool.get(term) {
+        Term::Sym { id, .. } => Some(PacketField {
+            offset,
+            bytes,
+            sym: id,
+            term,
+        }),
+        _ => None,
+    }
+}
+
+/// Migrates terms between pools, remapping symbols.
+struct Migrator<'a> {
+    src: &'a TermPool,
+    prefix: &'a str,
+    memo: HashMap<TermRef, TermRef>,
+    sym_map: HashMap<u32, TermRef>,
+}
+
+impl<'a> Migrator<'a> {
+    fn new(src: &'a TermPool, prefix: &'a str) -> Self {
+        Migrator {
+            src,
+            prefix,
+            memo: HashMap::new(),
+            sym_map: HashMap::new(),
+        }
+    }
+
+    fn migrate(&mut self, dst: &mut TermPool, t: TermRef) -> TermRef {
+        if let Some(&m) = self.memo.get(&t) {
+            return m;
+        }
+        let out = match *self.src.get(t) {
+            Term::Const { value, width } => dst.constant(value, width),
+            Term::Sym { id, width } => *self.sym_map.entry(id).or_insert_with(|| {
+                dst.fresh_sym(format!("{}.{}", self.prefix, self.src.sym_name(id)), width)
+            }),
+            Term::Unop { op, a } => {
+                let a = self.migrate(dst, a);
+                dst.unop(op, a)
+            }
+            Term::Binop { op, a, b } => {
+                let a = self.migrate(dst, a);
+                let b = self.migrate(dst, b);
+                dst.binop(op, a, b)
+            }
+            Term::Ite { c, t: tt, e } => {
+                let c = self.migrate(dst, c);
+                let tt = self.migrate(dst, tt);
+                let e = self.migrate(dst, e);
+                dst.ite(c, tt, e)
+            }
+            Term::Zext { a, width } => {
+                let a = self.migrate(dst, a);
+                dst.zext(a, width)
+            }
+            Term::Trunc { a, width } => {
+                let a = self.migrate(dst, a);
+                dst.trunc(a, width)
+            }
+        };
+        self.memo.insert(t, out);
+        out
+    }
+}
+
+fn add_perf(a: &[PerfExpr; 3], b: &[PerfExpr; 3]) -> [PerfExpr; 3] {
+    [a[0].add(&b[0]), a[1].add(&b[1]), a[2].add(&b[2])]
+}
+
+/// Compose two contracts into the contract of `first → second`.
+///
+/// Both NFs must have been registered against the *same*
+/// [`nf_lib::registry::DsRegistry`]
+/// (or be stateless) so that PCV ids agree in the summed expressions.
+pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfContract {
+    let mut pool = TermPool::new();
+    let mut paths = Vec::new();
+    let mut mig_a = Migrator::new(&first.pool, "nf1");
+
+    for pa in &first.paths {
+        let ca: Vec<TermRef> = pa
+            .constraints
+            .iter()
+            .map(|&t| mig_a.migrate(&mut pool, t))
+            .collect();
+        let forwards = matches!(
+            pa.verdict,
+            Some(NfVerdict::Forward(_)) | Some(NfVerdict::Flood)
+        );
+        if !forwards {
+            // The packet dies here: the pair is the upstream path alone.
+            let packet_fields = pa
+                .packet_fields
+                .iter()
+                .filter_map(|f| {
+                    let t = mig_a.migrate(&mut pool, f.term);
+                    field_of(&pool, f.offset, f.bytes, t)
+                })
+                .collect();
+            paths.push(PathContract {
+                index: paths.len(),
+                constraints: ca,
+                tags: pa.tags.clone(),
+                verdict: pa.verdict,
+                perf: pa.perf.clone(),
+                packet_fields,
+                final_packet: Vec::new(),
+            });
+            continue;
+        }
+        // Output packet state of the upstream path, migrated.
+        let out_fields: Vec<(u64, u8, TermRef)> = pa
+            .final_packet
+            .iter()
+            .map(|&(o, b, t)| (o, b, mig_a.migrate(&mut pool, t)))
+            .collect();
+        let in_fields: Vec<(u64, u8, TermRef)> = pa
+            .packet_fields
+            .iter()
+            .map(|f| (f.offset, f.bytes, mig_a.migrate(&mut pool, f.term)))
+            .collect();
+        for pb in &second.paths {
+            let mut mig_b = Migrator::new(&second.pool, "nf2");
+            let mut cs = ca.clone();
+            cs.extend(
+                pb.constraints
+                    .iter()
+                    .map(|&t| mig_b.migrate(&mut pool, t)),
+            );
+            // Link: the downstream NF's input fields equal the upstream
+            // NF's output (written value if any, else the pass-through
+            // input symbol).
+            for f in &pb.packet_fields {
+                let downstream = mig_b.migrate(&mut pool, f.term);
+                let upstream = out_fields
+                    .iter()
+                    .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
+                    .or_else(|| {
+                        in_fields
+                            .iter()
+                            .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
+                    })
+                    .map(|&(_, _, t)| t);
+                if let Some(u) = upstream {
+                    cs.push(pool.eq(downstream, u));
+                }
+            }
+            if !solver.is_feasible(&pool, &cs) {
+                continue;
+            }
+            let mut tags = pa.tags.clone();
+            tags.extend(pb.tags.iter().copied());
+            // The chain's input fields are the first NF's inputs, plus any
+            // field the second NF reads that passed through the first NF
+            // untouched (it is still free chain input).
+            let mut packet_fields: Vec<PacketField> = pa
+                .packet_fields
+                .iter()
+                .filter_map(|f| {
+                    let t = mig_a.migrate(&mut pool, f.term);
+                    field_of(&pool, f.offset, f.bytes, t)
+                })
+                .collect();
+            for f in &pb.packet_fields {
+                let nf1_touched = out_fields
+                    .iter()
+                    .any(|&(o, b, _)| o == f.offset && b == f.bytes)
+                    || in_fields
+                        .iter()
+                        .any(|&(o, b, _)| o == f.offset && b == f.bytes);
+                if !nf1_touched {
+                    let t = mig_b.migrate(&mut pool, f.term);
+                    if let Some(pf) = field_of(&pool, f.offset, f.bytes, t) {
+                        packet_fields.push(pf);
+                    }
+                }
+            }
+            // The chain's final packet: the second NF's writes overlay the
+            // first NF's final state.
+            let mut final_packet: Vec<(u64, u8, TermRef)> = out_fields.clone();
+            for &(o, b, t) in &pb.final_packet {
+                let t = mig_b.migrate(&mut pool, t);
+                if let Some(slot) = final_packet
+                    .iter_mut()
+                    .find(|(fo, fb, _)| *fo == o && *fb == b)
+                {
+                    slot.2 = t;
+                } else {
+                    final_packet.push((o, b, t));
+                }
+            }
+            paths.push(PathContract {
+                index: paths.len(),
+                constraints: cs,
+                tags,
+                verdict: pb.verdict,
+                perf: add_perf(&pa.perf, &pb.perf),
+                packet_fields,
+                final_packet,
+            });
+        }
+    }
+    NfContract { pool, paths }
+}
+
+/// The naive prediction for a chain: the sum of each NF's individual
+/// worst case (Figure 3's "Naive-Add" bar).
+pub fn naive_add(
+    first: &NfContract,
+    second: &NfContract,
+    metric: Metric,
+    env: &PcvAssignment,
+) -> u64 {
+    let a = first
+        .paths
+        .iter()
+        .map(|p| p.expr(metric).eval(env))
+        .max()
+        .unwrap_or(0);
+    let b = second
+        .paths
+        .iter()
+        .map(|p| p.expr(metric).eval(env))
+        .max()
+        .unwrap_or(0);
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_nfs::{firewall, static_router};
+    use dpdk_sim::StackLevel;
+
+    fn chain() -> (NfContract, NfContract, NfContract) {
+        let (_, fw_exp) = firewall::explore(&firewall::FirewallConfig::default(), StackLevel::NfOnly);
+        let (_, rt_exp) = static_router::explore(StackLevel::NfOnly);
+        let reg = nf_lib::registry::DsRegistry::new();
+        let fw = crate::generate(&reg, fw_exp);
+        let rt = crate::generate(&reg, rt_exp);
+        let solver = Solver::default();
+        let composed = compose(&fw, &rt, &solver);
+        (fw, rt, composed)
+    }
+
+    #[test]
+    fn firewall_masks_router_option_paths() {
+        let (_, rt, composed) = chain();
+        // The router alone has expensive option paths…
+        let env = PcvAssignment::new();
+        let rt_worst = rt
+            .paths
+            .iter()
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        // …but no composed path pairs a forwarded firewall packet with a
+        // router option path: packets with options died at the firewall.
+        for p in &composed.paths {
+            assert!(
+                !(p.has_tag("no-options") && p.has_tag("ip-options")),
+                "firewall-accepted traffic must not reach router option paths"
+            );
+        }
+        let composed_worst = composed
+            .paths
+            .iter()
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        let naive = naive_add(
+            &chain().0,
+            &rt,
+            Metric::Instructions,
+            &env,
+        );
+        assert!(
+            composed_worst < naive,
+            "composition must beat naive addition: {composed_worst} vs {naive}"
+        );
+        let _ = rt_worst;
+    }
+
+    #[test]
+    fn dropped_upstream_paths_stand_alone() {
+        let (fw, _, composed) = chain();
+        // Firewall option-drop path appears in the chain unpaired, with
+        // the firewall-only cost.
+        let env = PcvAssignment::new();
+        let fw_drop = fw
+            .tagged("ip-options")
+            .next()
+            .unwrap()
+            .expr(Metric::Instructions)
+            .eval(&env);
+        let chain_drop = composed
+            .tagged("ip-options")
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        assert_eq!(fw_drop, chain_drop, "drop path cost is firewall-only");
+    }
+
+    #[test]
+    fn longer_chains_compose_pairwise() {
+        // §3.4: longer chains are pieced together one NF at a time. A
+        // firewall → router → router chain composes associatively enough
+        // for provisioning: the three-NF contract still masks the option
+        // paths and still beats naive addition.
+        let (fw, rt, fw_rt) = chain();
+        let solver = Solver::default();
+        let three = compose(&fw_rt, &rt, &solver);
+        let env = PcvAssignment::new();
+        assert!(!three.paths.is_empty());
+        for p in &three.paths {
+            assert!(
+                !(p.has_tag("no-options") && p.has_tag("ip-options")),
+                "masking must survive a second composition"
+            );
+        }
+        let worst3 = three
+            .paths
+            .iter()
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        let naive3 = naive_add(&fw_rt, &rt, Metric::Instructions, &env)
+            .max(naive_add(&fw, &rt, Metric::Instructions, &env));
+        assert!(worst3 < naive3 + naive_add(&fw, &rt, Metric::Instructions, &env));
+        // The three-NF worst case is the two-NF worst case plus one more
+        // clean router pass.
+        let worst2 = fw_rt
+            .paths
+            .iter()
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        let rt_clean = rt
+            .tagged("no-options")
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .max()
+            .unwrap();
+        assert_eq!(worst3, worst2 + rt_clean);
+    }
+
+    #[test]
+    fn composed_pairs_sum_costs() {
+        let (fw, rt, composed) = chain();
+        let env = PcvAssignment::new();
+        // Any composed forwarding path costs at least the cheapest
+        // upstream forward plus the cheapest downstream path.
+        let fw_min = fw
+            .paths
+            .iter()
+            .filter(|p| matches!(p.verdict, Some(NfVerdict::Forward(_))))
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .min()
+            .unwrap();
+        let rt_min = rt
+            .paths
+            .iter()
+            .map(|p| p.expr(Metric::Instructions).eval(&env))
+            .min()
+            .unwrap();
+        for p in &composed.paths {
+            if matches!(p.verdict, Some(NfVerdict::Forward(_))) {
+                assert!(p.expr(Metric::Instructions).eval(&env) >= fw_min + rt_min);
+            }
+        }
+    }
+}

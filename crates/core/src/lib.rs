@@ -1,0 +1,30 @@
+//! BOLT's contract generator — the paper's primary contribution.
+//!
+//! [`generate`] implements Algorithm 2: it takes the feasible paths the
+//! symbolic engine found through the model-linked NF build, walks each
+//! path's instruction trace, charges constant costs for stateless events
+//! (with the conservative hardware model supplying the cycles metric),
+//! and substitutes each recorded stateful call with the contract case the
+//! path's constraints selected. The result is an [`NfContract`]: one
+//! [`PathContract`] per feasible path, each carrying a [`bolt_expr::PerfExpr`] per
+//! metric over the library's PCVs.
+//!
+//! [`InputClass`] describes packet classes ("all valid IPv4 packets",
+//! "broadcast frames", "packets from the internal network") as
+//! constraints over packet fields and path tags; querying a contract for
+//! a class returns the *worst* compatible path's prediction under a PCV
+//! binding (§5.1's methodology: "BOLT reports the predicted performance
+//! value of the execution path with the worst predicted performance").
+//!
+//! [`chain`] composes contracts of chained NFs (§3.4) by pairing paths,
+//! conjoining their constraints with equality links between the upstream
+//! NF's output packet expressions and the downstream NF's input symbols,
+//! and keeping only solver-feasible pairs.
+
+pub mod chain;
+pub mod classes;
+pub mod contract;
+
+pub use chain::{compose, naive_add};
+pub use classes::{ClassSpec, InputClass};
+pub use contract::{generate, NfContract, PathContract, QueryResult};

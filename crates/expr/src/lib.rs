@@ -1,0 +1,25 @@
+//! Symbolic expressions and performance polynomials for BOLT.
+//!
+//! This crate provides the two expression languages the BOLT pipeline is
+//! built on:
+//!
+//! * [`Term`]s — hash-consed symbolic *bit-vector* expressions used by the
+//!   symbolic execution engine (`bolt-see`) to describe packet contents,
+//!   data-structure model outputs, and path constraints. Terms live in a
+//!   [`TermPool`] and are referenced by copyable [`TermRef`] handles.
+//! * [`PerfExpr`]s — multivariate polynomials over *performance-critical
+//!   variables* (PCVs, see [`PcvTable`]). These are the bodies of
+//!   performance contracts: expressions like `245·e + 82·e·c + 882` from
+//!   Table 4 of the paper. They support exact evaluation, addition and
+//!   multiplication, and render in the paper's human-legible format.
+//!
+//! The split mirrors the paper: terms describe *which inputs take which
+//! path*; performance expressions describe *what that path costs*.
+
+pub mod perf;
+pub mod pool;
+pub mod term;
+
+pub use perf::{Monomial, PcvAssignment, PcvId, PcvTable, PerfExpr};
+pub use pool::TermPool;
+pub use term::{BinOp, SymId, Term, TermRef, UnOp, Width};

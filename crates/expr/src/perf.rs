@@ -1,0 +1,484 @@
+//! Performance expressions: polynomials over performance-critical variables.
+//!
+//! A performance contract's body is a [`PerfExpr`], a multivariate
+//! polynomial with unsigned integer coefficients over PCVs such as `e`
+//! (expired entries), `c` (hash collisions), `t` (bucket traversals), `o`
+//! (occupancy), `l` (matched prefix length), or `n` (IP option count).
+//! Table 4 of the paper, for example, is the expression
+//!
+//! ```text
+//! 245·e + 144·c + 50·t + 82·e·c + 19·e·t + 918
+//! ```
+//!
+//! [`PerfExpr`]s form a commutative semiring: they support addition,
+//! multiplication (used to build cross terms such as `e·c` when an expiry
+//! loop walks a collision chain), scaling, exact evaluation under a
+//! [`PcvAssignment`], and a pointwise upper-bound comparison.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a PCV within a [`PcvTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PcvId(pub u32);
+
+/// Registry of performance-critical variable names.
+///
+/// PCV names are scoped by data-structure instance where necessary (e.g.
+/// `flow_table.e` vs `mac_table.e`); for NFs with a single stateful
+/// instance, the short paper names (`e`, `c`, `t`, `o`) are used directly.
+#[derive(Default, Debug, Clone)]
+pub struct PcvTable {
+    names: Vec<String>,
+    index: BTreeMap<String, PcvId>,
+}
+
+impl PcvTable {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a PCV name, returning its id (idempotent).
+    pub fn intern(&mut self, name: &str) -> PcvId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = PcvId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a PCV by name without creating it.
+    pub fn lookup(&self, name: &str) -> Option<PcvId> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a PCV.
+    pub fn name(&self, id: PcvId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of registered PCVs.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no PCVs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PcvId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PcvId(i as u32), n.as_str()))
+    }
+}
+
+/// A product of PCVs (with multiplicity), e.g. `e·c`. The empty monomial is
+/// the constant term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub struct Monomial(Vec<PcvId>);
+
+impl Monomial {
+    /// The constant monomial (degree 0).
+    pub fn one() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// A single variable.
+    pub fn var(id: PcvId) -> Self {
+        Monomial(vec![id])
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        v.sort_unstable();
+        Monomial(v)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The variables (sorted, with multiplicity).
+    pub fn vars(&self) -> &[PcvId] {
+        &self.0
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, env: &PcvAssignment) -> u64 {
+        self.0
+            .iter()
+            .fold(1u64, |acc, id| acc.saturating_mul(env.get(*id)))
+    }
+}
+
+/// A concrete binding of PCVs to values (e.g. produced by the Distiller).
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct PcvAssignment {
+    values: BTreeMap<PcvId, u64>,
+}
+
+impl PcvAssignment {
+    /// Empty assignment: every PCV reads as 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a PCV.
+    pub fn set(&mut self, id: PcvId, value: u64) -> &mut Self {
+        self.values.insert(id, value);
+        self
+    }
+
+    /// Bind a PCV by name, interning it in `pcvs` if needed.
+    pub fn set_named(&mut self, pcvs: &mut PcvTable, name: &str, value: u64) -> &mut Self {
+        let id = pcvs.intern(name);
+        self.set(id, value)
+    }
+
+    /// Read a PCV (unbound PCVs read as 0).
+    pub fn get(&self, id: PcvId) -> u64 {
+        self.values.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Iterate over bound `(id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PcvId, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Pointwise maximum of two assignments (used when aggregating
+    /// per-packet Distiller observations into a worst-case binding).
+    pub fn max_with(&mut self, other: &PcvAssignment) {
+        for (id, v) in other.iter() {
+            let e = self.values.entry(id).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+}
+
+/// A polynomial over PCVs with `u64` coefficients.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PerfExpr {
+    terms: BTreeMap<Monomial, u64>,
+}
+
+impl PerfExpr {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: u64) -> Self {
+        let mut e = Self::zero();
+        if c != 0 {
+            e.terms.insert(Monomial::one(), c);
+        }
+        e
+    }
+
+    /// The polynomial `coeff · pcv`.
+    pub fn var(pcv: PcvId, coeff: u64) -> Self {
+        let mut e = Self::zero();
+        if coeff != 0 {
+            e.terms.insert(Monomial::var(pcv), coeff);
+        }
+        e
+    }
+
+    /// The polynomial `coeff · m` for an arbitrary monomial.
+    pub fn term(m: Monomial, coeff: u64) -> Self {
+        let mut e = Self::zero();
+        if coeff != 0 {
+            e.terms.insert(m, coeff);
+        }
+        e
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether this polynomial is a constant, and its value if so.
+    pub fn as_const(&self) -> Option<u64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Monomial::one()).copied(),
+            _ => None,
+        }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> u64 {
+        self.terms.get(&Monomial::one()).copied().unwrap_or(0)
+    }
+
+    /// Coefficient of a monomial (0 if absent).
+    pub fn coeff(&self, m: &Monomial) -> u64 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(monomial, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, u64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Total degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// The set of PCVs mentioned.
+    pub fn pcvs(&self) -> Vec<PcvId> {
+        let mut v: Vec<PcvId> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.vars().iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &PerfExpr) {
+        for (m, c) in other.iter() {
+            let e = self.terms.entry(m.clone()).or_insert(0);
+            *e = e.saturating_add(c);
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &PerfExpr) -> PerfExpr {
+        let mut r = self.clone();
+        r.add_assign(other);
+        r
+    }
+
+    /// Add a constant.
+    pub fn add_const(&mut self, c: u64) {
+        if c != 0 {
+            let e = self.terms.entry(Monomial::one()).or_insert(0);
+            *e = e.saturating_add(c);
+        }
+    }
+
+    /// `self · k`.
+    pub fn scale(&self, k: u64) -> PerfExpr {
+        if k == 0 {
+            return PerfExpr::zero();
+        }
+        let mut r = PerfExpr::zero();
+        for (m, c) in self.iter() {
+            r.terms.insert(m.clone(), c.saturating_mul(k));
+        }
+        r
+    }
+
+    /// Polynomial product (distributes; used to build cross terms such as
+    /// `e·c` when a per-expired-entry cost itself depends on collisions).
+    pub fn mul(&self, other: &PerfExpr) -> PerfExpr {
+        let mut r = PerfExpr::zero();
+        for (ma, ca) in self.iter() {
+            for (mb, cb) in other.iter() {
+                let m = ma.mul(mb);
+                let e = r.terms.entry(m).or_insert(0);
+                *e = e.saturating_add(ca.saturating_mul(cb));
+            }
+        }
+        r
+    }
+
+    /// Exact evaluation under an assignment (saturating).
+    pub fn eval(&self, env: &PcvAssignment) -> u64 {
+        self.terms.iter().fold(0u64, |acc, (m, &c)| {
+            acc.saturating_add(c.saturating_mul(m.eval(env)))
+        })
+    }
+
+    /// Conservative pointwise comparison: `true` if every coefficient of
+    /// `self` is ≤ the corresponding coefficient of `other`, which implies
+    /// `self.eval(a) ≤ other.eval(a)` for *all* assignments. (This is
+    /// sufficient but not necessary; used to pick the worst path of an
+    /// input class when one path dominates coefficient-wise.)
+    pub fn dominated_by(&self, other: &PerfExpr) -> bool {
+        self.iter().all(|(m, c)| c <= other.coeff(m))
+    }
+
+    /// Render against a PCV table, in the paper's format: degree-1 terms
+    /// first (alphabetical), then higher-degree cross terms, constant last.
+    /// E.g. `245·e + 144·c + 82·e·c + 882`.
+    pub fn display<'a>(&'a self, pcvs: &'a PcvTable) -> PerfExprDisplay<'a> {
+        PerfExprDisplay { expr: self, pcvs }
+    }
+}
+
+/// Helper returned by [`PerfExpr::display`].
+pub struct PerfExprDisplay<'a> {
+    expr: &'a PerfExpr,
+    pcvs: &'a PcvTable,
+}
+
+impl fmt::Display for PerfExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.expr.is_zero() {
+            return write!(f, "0");
+        }
+        // Sort: by degree (1 first, then 2, ...), then by variable names;
+        // the constant term is printed last, matching the paper's tables.
+        let mut named: Vec<(usize, Vec<&str>, u64)> = Vec::new();
+        let mut constant = 0u64;
+        for (m, c) in self.expr.iter() {
+            if m.degree() == 0 {
+                constant = c;
+            } else {
+                let names: Vec<&str> = m.vars().iter().map(|&v| self.pcvs.name(v)).collect();
+                named.push((m.degree(), names, c));
+            }
+        }
+        named.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut first = true;
+        for (_, names, c) in named {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+            for n in names {
+                write!(f, "\u{b7}{n}")?;
+            }
+        }
+        if constant != 0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{constant}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (PcvTable, PcvId, PcvId, PcvId) {
+        let mut t = PcvTable::new();
+        let e = t.intern("e");
+        let c = t.intern("c");
+        let tt = t.intern("t");
+        (t, e, c, tt)
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let (tbl, e, c, t) = table();
+        // 245·e + 144·c + 36·t + 82·e·c + 19·e·t + 882  (Table 4, row 1)
+        let mut p = PerfExpr::constant(882);
+        p.add_assign(&PerfExpr::var(e, 245));
+        p.add_assign(&PerfExpr::var(c, 144));
+        p.add_assign(&PerfExpr::var(t, 36));
+        p.add_assign(&PerfExpr::term(Monomial::var(e).mul(&Monomial::var(c)), 82));
+        p.add_assign(&PerfExpr::term(Monomial::var(e).mul(&Monomial::var(t)), 19));
+        assert_eq!(
+            p.display(&tbl).to_string(),
+            "144\u{b7}c + 245\u{b7}e + 36\u{b7}t + 82\u{b7}e\u{b7}c + 19\u{b7}e\u{b7}t + 882"
+        );
+    }
+
+    #[test]
+    fn eval_exact() {
+        let (_, e, c, _) = table();
+        let mut p = PerfExpr::constant(10);
+        p.add_assign(&PerfExpr::var(e, 3));
+        p.add_assign(&PerfExpr::term(Monomial::var(e).mul(&Monomial::var(c)), 2));
+        let mut env = PcvAssignment::new();
+        env.set(e, 5).set(c, 7);
+        assert_eq!(p.eval(&env), 10 + 3 * 5 + 2 * 5 * 7);
+    }
+
+    #[test]
+    fn unbound_pcv_reads_zero() {
+        let (_, e, _, _) = table();
+        let p = PerfExpr::var(e, 100);
+        assert_eq!(p.eval(&PcvAssignment::new()), 0);
+    }
+
+    #[test]
+    fn mul_distributes() {
+        let (_, e, c, _) = table();
+        // (2e + 3)(c) = 2ec + 3c
+        let mut a = PerfExpr::var(e, 2);
+        a.add_const(3);
+        let b = PerfExpr::var(c, 1);
+        let p = a.mul(&b);
+        assert_eq!(p.coeff(&Monomial::var(e).mul(&Monomial::var(c))), 2);
+        assert_eq!(p.coeff(&Monomial::var(c)), 3);
+        assert_eq!(p.constant_term(), 0);
+    }
+
+    #[test]
+    fn dominated_by_is_sound() {
+        let (_, e, c, _) = table();
+        let mut small = PerfExpr::var(e, 3);
+        small.add_const(5);
+        let mut big = PerfExpr::var(e, 4);
+        big.add_assign(&PerfExpr::var(c, 1));
+        big.add_const(5);
+        assert!(small.dominated_by(&big));
+        assert!(!big.dominated_by(&small));
+        // Dominance implies pointwise ≤ everywhere.
+        for ev in [0u64, 1, 17, 1000] {
+            for cv in [0u64, 2, 999] {
+                let mut env = PcvAssignment::new();
+                env.set(e, ev).set(c, cv);
+                assert!(small.eval(&env) <= big.eval(&env));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_max_with() {
+        let (_, e, c, _) = table();
+        let mut a = PcvAssignment::new();
+        a.set(e, 3).set(c, 10);
+        let mut b = PcvAssignment::new();
+        b.set(e, 7);
+        a.max_with(&b);
+        assert_eq!(a.get(e), 7);
+        assert_eq!(a.get(c), 10);
+    }
+
+    #[test]
+    fn zero_and_constants() {
+        assert!(PerfExpr::zero().is_zero());
+        assert_eq!(PerfExpr::constant(0), PerfExpr::zero());
+        assert_eq!(PerfExpr::constant(42).as_const(), Some(42));
+        assert_eq!(PerfExpr::zero().as_const(), Some(0));
+        let (tbl, ..) = table();
+        assert_eq!(PerfExpr::zero().display(&tbl).to_string(), "0");
+        assert_eq!(PerfExpr::constant(7).display(&tbl).to_string(), "7");
+    }
+
+    #[test]
+    fn pcv_table_interning_is_idempotent() {
+        let mut t = PcvTable::new();
+        let a = t.intern("e");
+        let b = t.intern("e");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), "e");
+        assert_eq!(t.lookup("e"), Some(a));
+        assert_eq!(t.lookup("zzz"), None);
+    }
+}

@@ -1,0 +1,589 @@
+//! The hash-consing term pool.
+//!
+//! All terms of one analysis live in a single [`TermPool`]. Construction
+//! methods perform aggressive constant folding and a handful of algebraic
+//! simplifications; this keeps path constraints small enough for the solver
+//! without a separate rewrite pass.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::term::{BinOp, SymId, Term, TermRef, UnOp, Width};
+
+/// Arena + intern table for [`Term`]s, plus the symbol name registry.
+#[derive(Default, Debug)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    intern: HashMap<Term, TermRef>,
+    sym_names: Vec<String>,
+    sym_widths: Vec<Width>,
+}
+
+impl TermPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms in the pool.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the pool holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of symbols created so far.
+    pub fn sym_count(&self) -> usize {
+        self.sym_names.len()
+    }
+
+    fn intern(&mut self, t: Term) -> TermRef {
+        if let Some(&r) = self.intern.get(&t) {
+            return r;
+        }
+        let r = TermRef(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.intern.insert(t, r);
+        r
+    }
+
+    /// Look up a term node.
+    pub fn get(&self, r: TermRef) -> &Term {
+        &self.terms[r.index()]
+    }
+
+    /// Width of a term.
+    pub fn width(&self, r: TermRef) -> Width {
+        match *self.get(r) {
+            Term::Const { width, .. } | Term::Sym { width, .. } => width,
+            Term::Unop { a, .. } => self.width(a),
+            Term::Binop { op, a, .. } => {
+                if op.is_comparison() {
+                    Width::W1
+                } else {
+                    self.width(a)
+                }
+            }
+            Term::Ite { t, .. } => self.width(t),
+            Term::Zext { width, .. } | Term::Trunc { width, .. } => width,
+        }
+    }
+
+    /// Name of a symbol.
+    pub fn sym_name(&self, id: SymId) -> &str {
+        &self.sym_names[id as usize]
+    }
+
+    /// Width of a symbol.
+    pub fn sym_width(&self, id: SymId) -> Width {
+        self.sym_widths[id as usize]
+    }
+
+    /// Constant value if the term is a constant.
+    pub fn as_const(&self, r: TermRef) -> Option<u64> {
+        match *self.get(r) {
+            Term::Const { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A constant of the given width (value is masked).
+    pub fn constant(&mut self, value: u64, width: Width) -> TermRef {
+        self.intern(Term::Const {
+            value: value & width.mask(),
+            width,
+        })
+    }
+
+    /// The boolean constant `true`.
+    pub fn tru(&mut self) -> TermRef {
+        self.constant(1, Width::W1)
+    }
+
+    /// The boolean constant `false`.
+    pub fn fls(&mut self) -> TermRef {
+        self.constant(0, Width::W1)
+    }
+
+    /// A fresh symbolic variable with a human-readable name.
+    pub fn fresh_sym(&mut self, name: impl Into<String>, width: Width) -> TermRef {
+        let id = self.sym_names.len() as SymId;
+        self.sym_names.push(name.into());
+        self.sym_widths.push(width);
+        self.intern(Term::Sym { id, width })
+    }
+
+    /// Unary application with folding.
+    pub fn unop(&mut self, op: UnOp, a: TermRef) -> TermRef {
+        let w = self.width(a);
+        if let Some(v) = self.as_const(a) {
+            return self.constant(op.apply(v, w), w);
+        }
+        // not(not(x)) = x
+        if let Term::Unop { op: UnOp::Not, a: inner } = *self.get(a) {
+            return inner;
+        }
+        self.intern(Term::Unop { op, a })
+    }
+
+    /// Logical/bitwise negation.
+    pub fn not(&mut self, a: TermRef) -> TermRef {
+        self.unop(UnOp::Not, a)
+    }
+
+    /// Binary application with folding and light algebraic simplification.
+    ///
+    /// Panics if operand widths differ — mixed-width arithmetic in NF code
+    /// is always a bug (e.g. comparing a 16-bit port to a 32-bit address).
+    pub fn binop(&mut self, op: BinOp, a: TermRef, b: TermRef) -> TermRef {
+        let wa = self.width(a);
+        let wb = self.width(b);
+        assert_eq!(
+            wa, wb,
+            "width mismatch in {:?}: {:?} vs {:?}",
+            op, wa, wb
+        );
+        let out_w = if op.is_comparison() { Width::W1 } else { wa };
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(op.apply(x, y, wa), out_w),
+            _ => {}
+        }
+        // Identity / annihilator simplifications.
+        let ca = self.as_const(a);
+        let cb = self.as_const(b);
+        match op {
+            BinOp::Add => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+            }
+            BinOp::Sub => {
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.constant(0, wa);
+                }
+            }
+            BinOp::Mul => {
+                if ca == Some(1) {
+                    return b;
+                }
+                if cb == Some(1) {
+                    return a;
+                }
+                if ca == Some(0) || cb == Some(0) {
+                    return self.constant(0, wa);
+                }
+            }
+            BinOp::And => {
+                if ca == Some(0) || cb == Some(0) {
+                    return self.constant(0, wa);
+                }
+                if ca == Some(wa.mask()) {
+                    return b;
+                }
+                if cb == Some(wa.mask()) {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BinOp::Or => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+                if ca == Some(wa.mask()) || cb == Some(wa.mask()) {
+                    return self.constant(wa.mask(), wa);
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BinOp::Xor => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.constant(0, wa);
+                }
+            }
+            BinOp::Shl | BinOp::Shr => {
+                if cb == Some(0) {
+                    return a;
+                }
+                if ca == Some(0) {
+                    return self.constant(0, wa);
+                }
+            }
+            BinOp::Eq => {
+                if a == b {
+                    return self.tru();
+                }
+            }
+            BinOp::Ne => {
+                if a == b {
+                    return self.fls();
+                }
+            }
+            BinOp::Ult => {
+                if a == b {
+                    return self.fls();
+                }
+                if cb == Some(0) {
+                    return self.fls();
+                }
+            }
+            BinOp::Ule => {
+                if a == b {
+                    return self.tru();
+                }
+                if ca == Some(0) {
+                    return self.tru();
+                }
+            }
+        }
+        // Canonicalise commutative operand order so interning catches
+        // `a+b` vs `b+a`.
+        let (a, b) = match op {
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+                if b < a =>
+            {
+                (b, a)
+            }
+            _ => (a, b),
+        };
+        self.intern(Term::Binop { op, a, b })
+    }
+
+    /// `a + b`
+    pub fn add(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Add, a, b)
+    }
+    /// `a - b`
+    pub fn sub(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Sub, a, b)
+    }
+    /// `a * b`
+    pub fn mul(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Mul, a, b)
+    }
+    /// `a & b`
+    pub fn and(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::And, a, b)
+    }
+    /// `a | b`
+    pub fn or(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Or, a, b)
+    }
+    /// `a ^ b`
+    pub fn xor(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Xor, a, b)
+    }
+    /// `a << b`
+    pub fn shl(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Shl, a, b)
+    }
+    /// `a >> b`
+    pub fn shr(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Shr, a, b)
+    }
+    /// `a == b`
+    pub fn eq(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Eq, a, b)
+    }
+    /// `a != b`
+    pub fn ne(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ne, a, b)
+    }
+    /// `a < b` (unsigned)
+    pub fn ult(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ult, a, b)
+    }
+    /// `a <= b` (unsigned)
+    pub fn ule(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ule, a, b)
+    }
+
+    /// Zero-extend `a` to `width` (identity when widths match; widening
+    /// only).
+    pub fn zext(&mut self, a: TermRef, width: Width) -> TermRef {
+        let wa = self.width(a);
+        assert!(
+            wa.bits() <= width.bits(),
+            "zext must widen: {:?} -> {:?}",
+            wa,
+            width
+        );
+        if wa == width {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v, width);
+        }
+        self.intern(Term::Zext { a, width })
+    }
+
+    /// Truncate `a` to `width`, keeping the low bits (narrowing only).
+    pub fn trunc(&mut self, a: TermRef, width: Width) -> TermRef {
+        let wa = self.width(a);
+        assert!(
+            wa.bits() >= width.bits(),
+            "trunc must narrow: {:?} -> {:?}",
+            wa,
+            width
+        );
+        if wa == width {
+            return a;
+        }
+        if let Some(v) = self.as_const(a) {
+            return self.constant(v, width);
+        }
+        self.intern(Term::Trunc { a, width })
+    }
+
+    /// If-then-else. `c` must be boolean; `t` and `e` must have equal widths.
+    pub fn ite(&mut self, c: TermRef, t: TermRef, e: TermRef) -> TermRef {
+        assert_eq!(self.width(c), Width::W1, "ite condition must be boolean");
+        assert_eq!(self.width(t), self.width(e), "ite arm width mismatch");
+        if let Some(v) = self.as_const(c) {
+            return if v != 0 { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        self.intern(Term::Ite { c, t, e })
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation & inspection
+    // ------------------------------------------------------------------
+
+    /// Evaluate a term under a symbol assignment. Symbols missing from the
+    /// assignment evaluate to 0 (useful when a model symbol is don't-care).
+    pub fn eval(&self, r: TermRef, env: &dyn Fn(SymId) -> u64) -> u64 {
+        match *self.get(r) {
+            Term::Const { value, .. } => value,
+            Term::Sym { id, width } => env(id) & width.mask(),
+            Term::Unop { op, a } => {
+                let w = self.width(a);
+                op.apply(self.eval(a, env), w)
+            }
+            Term::Binop { op, a, b } => {
+                let w = self.width(a);
+                op.apply(self.eval(a, env), self.eval(b, env), w)
+            }
+            Term::Ite { c, t, e } => {
+                if self.eval(c, env) != 0 {
+                    self.eval(t, env)
+                } else {
+                    self.eval(e, env)
+                }
+            }
+            Term::Zext { a, .. } => self.eval(a, env),
+            Term::Trunc { a, width } => self.eval(a, env) & width.mask(),
+        }
+    }
+
+    /// Collect the set of symbols appearing in a term (deduplicated, sorted).
+    pub fn syms_of(&self, r: TermRef) -> Vec<SymId> {
+        let mut out = Vec::new();
+        self.collect_syms(r, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_syms(&self, r: TermRef, out: &mut Vec<SymId>) {
+        match *self.get(r) {
+            Term::Const { .. } => {}
+            Term::Sym { id, .. } => out.push(id),
+            Term::Unop { a, .. } => self.collect_syms(a, out),
+            Term::Binop { a, b, .. } => {
+                self.collect_syms(a, out);
+                self.collect_syms(b, out);
+            }
+            Term::Ite { c, t, e } => {
+                self.collect_syms(c, out);
+                self.collect_syms(t, out);
+                self.collect_syms(e, out);
+            }
+            Term::Zext { a, .. } | Term::Trunc { a, .. } => self.collect_syms(a, out),
+        }
+    }
+
+    /// Render a term as human-readable infix text, using symbol names.
+    pub fn display(&self, r: TermRef) -> String {
+        let mut s = String::new();
+        self.fmt_term(r, &mut s);
+        s
+    }
+
+    fn fmt_term(&self, r: TermRef, out: &mut String) {
+        match *self.get(r) {
+            Term::Const { value, width } => {
+                if width == Width::W1 {
+                    let _ = write!(out, "{}", if value != 0 { "true" } else { "false" });
+                } else if value > 255 {
+                    let _ = write!(out, "0x{value:x}");
+                } else {
+                    let _ = write!(out, "{value}");
+                }
+            }
+            Term::Sym { id, .. } => {
+                let _ = write!(out, "{}", self.sym_name(id));
+            }
+            Term::Unop { op: UnOp::Not, a } => {
+                out.push('!');
+                out.push('(');
+                self.fmt_term(a, out);
+                out.push(')');
+            }
+            Term::Binop { op, a, b } => {
+                out.push('(');
+                self.fmt_term(a, out);
+                let _ = write!(out, " {} ", op.symbol());
+                self.fmt_term(b, out);
+                out.push(')');
+            }
+            Term::Ite { c, t, e } => {
+                out.push('(');
+                self.fmt_term(c, out);
+                out.push_str(" ? ");
+                self.fmt_term(t, out);
+                out.push_str(" : ");
+                self.fmt_term(e, out);
+                out.push(')');
+            }
+            Term::Zext { a, .. } | Term::Trunc { a, .. } => self.fmt_term(a, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.constant(3, Width::W32);
+        let b = p.constant(4, Width::W32);
+        let s = p.add(a, b);
+        assert_eq!(p.as_const(s), Some(7));
+        let m = p.mul(a, b);
+        assert_eq!(p.as_const(m), Some(12));
+        let cmp = p.ult(a, b);
+        assert_eq!(p.as_const(cmp), Some(1));
+    }
+
+    #[test]
+    fn masking_on_construction() {
+        let mut p = TermPool::new();
+        let c = p.constant(0x1_FFFF, Width::W16);
+        assert_eq!(p.as_const(c), Some(0xFFFF));
+        let a = p.constant(0xFFFF, Width::W16);
+        let one = p.constant(1, Width::W16);
+        let s = p.add(a, one);
+        assert_eq!(p.as_const(s), Some(0), "16-bit wrap-around");
+    }
+
+    #[test]
+    fn identities() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let zero = p.constant(0, Width::W32);
+        let one = p.constant(1, Width::W32);
+        assert_eq!(p.add(x, zero), x);
+        assert_eq!(p.mul(x, one), x);
+        let mz = p.mul(x, zero);
+        assert_eq!(p.as_const(mz), Some(0));
+        let xx = p.xor(x, x);
+        assert_eq!(p.as_const(xx), Some(0));
+        let eq = p.eq(x, x);
+        assert_eq!(p.as_const(eq), Some(1));
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let a = p.add(x, y);
+        let b = p.add(y, x); // commutative canonicalisation
+        assert_eq!(a, b);
+        let n = p.len();
+        let _ = p.add(x, y);
+        assert_eq!(p.len(), n, "re-construction allocates nothing");
+    }
+
+    #[test]
+    fn eval_with_env() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let e = p.add(x, y);
+        let ten = p.constant(10, Width::W32);
+        let cond = p.ult(e, ten);
+        let v = p.eval(cond, &|id| if id == 0 { 3 } else { 4 });
+        assert_eq!(v, 1);
+        let v = p.eval(cond, &|id| if id == 0 { 30 } else { 4 });
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn ite_simplification() {
+        let mut p = TermPool::new();
+        let c = p.fresh_sym("c", Width::W1);
+        let x = p.fresh_sym("x", Width::W32);
+        assert_eq!(p.ite(c, x, x), x);
+        let t = p.tru();
+        let y = p.fresh_sym("y", Width::W32);
+        assert_eq!(p.ite(t, x, y), x);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut p = TermPool::new();
+        let et = p.fresh_sym("pkt.ether_type", Width::W16);
+        let c = p.constant(0x0800, Width::W16);
+        let eq = p.eq(et, c);
+        assert_eq!(p.display(eq), "(pkt.ether_type == 0x800)");
+    }
+
+    #[test]
+    fn syms_of_collects_all() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let s = p.add(x, y);
+        let s2 = p.add(s, x);
+        assert_eq!(p.syms_of(s2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut p = TermPool::new();
+        let a = p.fresh_sym("a", Width::W16);
+        let b = p.fresh_sym("b", Width::W32);
+        let _ = p.add(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! Set-associative cache simulator with LRU replacement.
+//!
+//! Used both as the conservative model's L1D residency prover and as the
+//! testbed simulator's L1/L2/L3 levels. Addresses are simulated addresses
+//! from [`bolt_trace::AddressSpace`]; only line presence is tracked, not
+//! data.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+}
+
+impl CacheParams {
+    /// 32 KB, 8-way, 64 B lines — the Xeon E5 v2 private L1D.
+    pub fn l1d() -> Self {
+        CacheParams {
+            size: 32 * 1024,
+            ways: 8,
+            line_size: 64,
+        }
+    }
+
+    /// 256 KB, 8-way — the per-core L2.
+    pub fn l2() -> Self {
+        CacheParams {
+            size: 256 * 1024,
+            ways: 8,
+            line_size: 64,
+        }
+    }
+
+    /// A 2 MB L3 slice (the paper's DUT has 25 MB shared; one core's share
+    /// is a few MB — exact size only shifts where capacity misses start).
+    pub fn l3() -> Self {
+        CacheParams {
+            size: 2 * 1024 * 1024,
+            ways: 16,
+            line_size: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size / (self.ways * self.line_size)
+    }
+}
+
+/// LRU set-associative cache. Tracks line tags only.
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    params: CacheParams,
+    /// `sets[s]` holds up to `ways` line addresses, most recent last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// New empty cache.
+    pub fn new(params: CacheParams) -> Self {
+        assert!(params.line_size.is_power_of_two());
+        let n = params.sets() as usize;
+        assert!(n > 0, "cache must have at least one set");
+        CacheSim {
+            params,
+            sets: vec![Vec::new(); n],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Empty the cache and zero the counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        let line = addr / self.params.line_size as u64;
+        (line % self.sets.len() as u64) as usize
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr / self.params.line_size as u64 * self.params.line_size as u64
+    }
+
+    /// Access `addr`: returns `true` on hit. On miss the line is installed
+    /// (allocate-on-miss), evicting the LRU way if the set is full. On hit
+    /// the line becomes most-recently-used.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push(line);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.params.ways as usize {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Install a line without counting an access (prefetch fills).
+    pub fn install(&mut self, addr: u64) {
+        let line = self.line_of(addr);
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push(line);
+            return;
+        }
+        if set.len() == self.params.ways as usize {
+            set.remove(0);
+        }
+        set.push(line);
+    }
+
+    /// Whether the line containing `addr` is currently resident (no LRU
+    /// update, no counter change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.sets[self.set_of(addr)].contains(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets × 2 ways × 64B = 512B.
+        CacheSim::new(CacheParams {
+            size: 512,
+            ways: 2,
+            line_size: 64,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103f), "same line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 256B).
+        let a = 0x0u64;
+        let b = 0x100u64;
+        let d = 0x200u64;
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn install_does_not_count() {
+        let mut c = tiny();
+        c.install(0x40);
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(c.contains(0x40));
+        assert!(c.access(0x40));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0x80);
+        c.reset();
+        assert!(!c.contains(0x80));
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        // 4 lines in 4 different sets: all fit regardless of 2-way limit.
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        for i in 0..4u64 {
+            assert!(c.contains(i * 64));
+        }
+    }
+
+    #[test]
+    fn realistic_geometries() {
+        assert_eq!(CacheParams::l1d().sets(), 64);
+        assert_eq!(CacheParams::l2().sets(), 512);
+        let c = CacheSim::new(CacheParams::l3());
+        assert!(c.params().sets() > 0);
+    }
+}

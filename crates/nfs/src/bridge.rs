@@ -1,0 +1,241 @@
+//! Learning MAC bridge (scenarios Br1–Br3; §5.2's attack use case).
+//!
+//! Per packet: expire stale table entries, learn the source MAC (with the
+//! rehash defence), then switch on the destination: broadcast frames
+//! flood (Br2), known unicast forwards (Br3), unknown unicast floods.
+//! Unconstrained traffic (Br1) can hit the mass-expiry worst case.
+
+use bolt_expr::Width;
+use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_trace::AddressSpace;
+use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use nf_lib::flow_table::FlowTableParams;
+use nf_lib::mac_table::{self, LearnOutcome, MacTable, MacTableIds, MacTableModel, MacTableOps};
+use nf_lib::registry::DsRegistry;
+
+use crate::forward_to;
+
+/// Broadcast destination MAC.
+pub const BROADCAST_MAC: u64 = 0xFFFF_FFFF_FFFF;
+
+/// Bridge configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BridgeConfig {
+    /// MAC table capacity (power of two).
+    pub capacity: usize,
+    /// Entry lifetime in nanoseconds.
+    pub ttl_ns: u64,
+    /// Probe-length threshold that triggers the defensive rehash.
+    pub rehash_threshold: u64,
+}
+
+impl Default for BridgeConfig {
+    fn default() -> Self {
+        BridgeConfig {
+            capacity: 1024,
+            ttl_ns: 1_000_000,
+            rehash_threshold: 6,
+        }
+    }
+}
+
+/// Registered-state handle.
+#[derive(Clone, Copy, Debug)]
+pub struct BridgeIds {
+    /// The MAC table.
+    pub table: MacTableIds,
+}
+
+/// Register the bridge's stateful parts.
+pub fn register(reg: &mut DsRegistry, cfg: &BridgeConfig) -> BridgeIds {
+    let params = FlowTableParams {
+        capacity: cfg.capacity,
+        ttl_ns: cfg.ttl_ns,
+    };
+    BridgeIds {
+        table: mac_table::register(reg, "mac_table", params, cfg.rehash_threshold),
+    }
+}
+
+/// The stateless bridge logic (Vigor-style: all state behind `table`).
+pub fn process<C: NfCtx, T: MacTableOps<C>>(
+    ctx: &mut C,
+    table: &mut T,
+    now: C::Val,
+    mbuf: Mbuf,
+) {
+    let _e = table.expire(ctx, now);
+    let src = ctx.load(mbuf.region, h::ETHER_SRC, 6);
+    let dst = ctx.load(mbuf.region, h::ETHER_DST, 6);
+    let port = crate::in_port(ctx, &mbuf);
+    let port64 = ctx.zext(port, Width::W64);
+    match table.learn(ctx, src, port64, now) {
+        LearnOutcome::Known => ctx.tag("src:known"),
+        LearnOutcome::Unknown => ctx.tag("src:unknown"),
+        LearnOutcome::UnknownRehash => ctx.tag("src:rehash"),
+    }
+    if ctx.branch_eq_imm(dst, BROADCAST_MAC, Width::W48) {
+        ctx.tag("dst:broadcast");
+        ctx.verdict(NfVerdict::Flood);
+        return;
+    }
+    match table.lookup(ctx, dst) {
+        Some(out_port) => {
+            ctx.tag("dst:known");
+            forward_to(ctx, out_port);
+        }
+        None => {
+            ctx.tag("dst:unknown");
+            ctx.verdict(NfVerdict::Flood);
+        }
+    }
+}
+
+/// Concrete bridge state bundle.
+pub struct Bridge {
+    /// The instrumented MAC table.
+    pub table: MacTable,
+}
+
+impl Bridge {
+    /// Build concrete state.
+    pub fn new(ids: BridgeIds, cfg: &BridgeConfig, aspace: &mut AddressSpace) -> Self {
+        let params = FlowTableParams {
+            capacity: cfg.capacity,
+            ttl_ns: cfg.ttl_ns,
+        };
+        Bridge {
+            table: MacTable::new(ids.table, params, cfg.rehash_threshold, aspace),
+        }
+    }
+}
+
+/// Run the analysis build: explore all paths of the bridge at the given
+/// stack level. Returns the registry (with contracts) and the exploration.
+pub fn explore(
+    cfg: &BridgeConfig,
+    level: StackLevel,
+) -> (DsRegistry, BridgeIds, bolt_see::ExplorationResult) {
+    let mut reg = DsRegistry::new();
+    let ids = register(&mut reg, cfg);
+    let params = FlowTableParams {
+        capacity: cfg.capacity,
+        ttl_ns: cfg.ttl_ns,
+    };
+    let result = Explorer::new().explore(|ctx: &mut SymbolicCtx<'_>| {
+        let mut model = MacTableModel::new(ids.table, params);
+        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
+            let clock = nf_lib::clock::ClockModel;
+            let now = clock.now(ctx);
+            process(ctx, &mut model, now, mbuf);
+        });
+    });
+    (reg, ids, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_see::ConcreteCtx;
+    use bolt_trace::CountingTracer;
+    use dpdk_sim::DpdkEnv;
+    use nf_lib::clock::{Clock, Granularity};
+
+    fn frame(dst: u64, src: u64) -> Vec<u8> {
+        h::PacketBuilder::new()
+            .eth(dst, src, h::ETHERTYPE_IPV4)
+            .ipv4(0x0a000001, 0x0a000002, h::IPPROTO_UDP, 64)
+            .udp(10, 20)
+            .build()
+    }
+
+    #[test]
+    fn learns_and_forwards() {
+        let mut reg = DsRegistry::new();
+        let cfg = BridgeConfig::default();
+        let ids = register(&mut reg, &cfg);
+        let mut aspace = AddressSpace::new();
+        let mut bridge = Bridge::new(ids, &cfg, &mut aspace);
+        let mut env = DpdkEnv::full_stack();
+        let mut tracer = CountingTracer::new();
+        let mut ctx = ConcreteCtx::new(&mut tracer);
+        let clock = Clock::new(Granularity::Milliseconds);
+
+        // A talks to B: unknown destination floods, A is learned on port 1.
+        let v = env.process_packet(&mut ctx, &frame(0xB, 0xA), 1, |ctx, mbuf| {
+            let now = clock.now(ctx);
+            process(ctx, &mut bridge.table, now, mbuf);
+        });
+        assert_eq!(v, NfVerdict::Flood);
+        // B replies from port 2: A is known, forward to port 1.
+        let v = env.process_packet(&mut ctx, &frame(0xA, 0xB), 2, |ctx, mbuf| {
+            let now = clock.now(ctx);
+            process(ctx, &mut bridge.table, now, mbuf);
+        });
+        assert_eq!(v, NfVerdict::Forward(1));
+        // A to B again: B now known on port 2.
+        let v = env.process_packet(&mut ctx, &frame(0xB, 0xA), 1, |ctx, mbuf| {
+            let now = clock.now(ctx);
+            process(ctx, &mut bridge.table, now, mbuf);
+        });
+        assert_eq!(v, NfVerdict::Forward(2));
+    }
+
+    #[test]
+    fn broadcast_floods() {
+        let mut reg = DsRegistry::new();
+        let cfg = BridgeConfig::default();
+        let ids = register(&mut reg, &cfg);
+        let mut aspace = AddressSpace::new();
+        let mut bridge = Bridge::new(ids, &cfg, &mut aspace);
+        let mut env = DpdkEnv::full_stack();
+        let mut tracer = CountingTracer::new();
+        let mut ctx = ConcreteCtx::new(&mut tracer);
+        let clock = Clock::new(Granularity::Milliseconds);
+        let v = env.process_packet(
+            &mut ctx,
+            &frame(BROADCAST_MAC, 0xC),
+            0,
+            |ctx, mbuf| {
+                let now = clock.now(ctx);
+                process(ctx, &mut bridge.table, now, mbuf);
+            },
+        );
+        assert_eq!(v, NfVerdict::Flood);
+    }
+
+    #[test]
+    fn exploration_covers_all_classes() {
+        let (_, _, result) = explore(&BridgeConfig::default(), StackLevel::FullStack);
+        // 3 learn outcomes × 3 destination kinds = 9 paths.
+        assert_eq!(result.paths.len(), 9);
+        for learn in ["src:known", "src:unknown", "src:rehash"] {
+            assert_eq!(result.tagged(learn).count(), 3, "{learn}");
+        }
+        for dst in ["dst:broadcast", "dst:known", "dst:unknown"] {
+            assert_eq!(result.tagged(dst).count(), 3, "{dst}");
+        }
+        // Every path has a verdict and a stateful expire call.
+        for p in &result.paths {
+            assert!(p.verdict.is_some());
+            assert!(p
+                .events
+                .iter()
+                .any(|e| matches!(e, bolt_trace::TraceEvent::Stateful(_))));
+        }
+    }
+
+    #[test]
+    fn nf_only_paths_are_cheaper() {
+        let (_, _, full) = explore(&BridgeConfig::default(), StackLevel::FullStack);
+        let (_, _, nf) = explore(&BridgeConfig::default(), StackLevel::NfOnly);
+        let cost = |r: &bolt_see::ExplorationResult| {
+            r.paths
+                .iter()
+                .map(|p| bolt_trace::count_ic_ma(&p.events).0)
+                .max()
+                .unwrap()
+        };
+        assert!(cost(&full) > cost(&nf));
+    }
+}

@@ -1,0 +1,341 @@
+//! Concrete interpreter for [`NfCtx`] — the "production build".
+//!
+//! Values are `u64`s paired with a width (so wrap-around matches the
+//! symbolic semantics bit for bit). Packet buffers are real byte vectors
+//! registered per [`MemRegion`]; loads and stores are big-endian, matching
+//! network byte order.
+
+use std::collections::HashMap;
+
+use bolt_expr::{BinOp, Width};
+use bolt_trace::{InstrClass, MemRegion, Tracer};
+
+use crate::{NfCtx, NfVerdict};
+
+/// A concrete value with an explicit width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CVal {
+    /// The value, always masked to `width`.
+    pub v: u64,
+    /// Bit width.
+    pub w: Width,
+}
+
+impl CVal {
+    /// Construct (masks the value).
+    pub fn new(v: u64, w: Width) -> Self {
+        CVal { v: v & w.mask(), w }
+    }
+}
+
+/// Concrete execution context. Generic over nothing; holds a tracer by
+/// mutable reference so callers can aggregate events across many packets.
+pub struct ConcreteCtx<'t> {
+    tracer: &'t mut dyn Tracer,
+    buffers: HashMap<u64, Vec<u8>>,
+    verdicts: Vec<NfVerdict>,
+}
+
+impl<'t> ConcreteCtx<'t> {
+    /// New context writing events into `tracer`.
+    pub fn new(tracer: &'t mut dyn Tracer) -> Self {
+        ConcreteCtx {
+            tracer,
+            buffers: HashMap::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Register the backing bytes for a region (e.g. a packet buffer).
+    /// The byte vector is padded/truncated to the region size.
+    pub fn register_buffer(&mut self, region: MemRegion, mut bytes: Vec<u8>) {
+        bytes.resize(region.size as usize, 0);
+        self.buffers.insert(region.base, bytes);
+    }
+
+    /// Read back a buffer (e.g. the packet after NF processing).
+    pub fn buffer(&self, region: MemRegion) -> Option<&[u8]> {
+        self.buffers.get(&region.base).map(|v| v.as_slice())
+    }
+
+    /// Verdicts recorded so far (one per processed packet, in order).
+    pub fn verdicts(&self) -> &[NfVerdict] {
+        &self.verdicts
+    }
+
+    /// The most recent verdict.
+    pub fn last_verdict(&self) -> Option<NfVerdict> {
+        self.verdicts.last().copied()
+    }
+
+    /// Clear recorded verdicts (when reusing the ctx across packets).
+    pub fn clear_verdicts(&mut self) {
+        self.verdicts.clear();
+    }
+
+    fn binop(&mut self, op: BinOp, a: CVal, b: CVal, cost: InstrClass) -> CVal {
+        assert_eq!(a.w, b.w, "width mismatch in concrete {op:?}");
+        self.tracer.instr(cost, 1);
+        let out_w = if op.is_comparison() { Width::W1 } else { a.w };
+        CVal::new(op.apply(a.v, b.v, a.w), out_w)
+    }
+}
+
+impl NfCtx for ConcreteCtx<'_> {
+    type Val = CVal;
+
+    fn lit(&mut self, v: u64, w: Width) -> CVal {
+        CVal::new(v, w)
+    }
+
+    fn add(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Add, a, b, InstrClass::Alu)
+    }
+    fn sub(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Sub, a, b, InstrClass::Alu)
+    }
+    fn mul(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Mul, a, b, InstrClass::Mul)
+    }
+    fn and(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::And, a, b, InstrClass::Alu)
+    }
+    fn or(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Or, a, b, InstrClass::Alu)
+    }
+    fn xor(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Xor, a, b, InstrClass::Alu)
+    }
+    fn shl(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Shl, a, b, InstrClass::Alu)
+    }
+    fn shr(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Shr, a, b, InstrClass::Alu)
+    }
+    fn eq(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Eq, a, b, InstrClass::Alu)
+    }
+    fn ne(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Ne, a, b, InstrClass::Alu)
+    }
+    fn ult(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Ult, a, b, InstrClass::Alu)
+    }
+    fn ule(&mut self, a: CVal, b: CVal) -> CVal {
+        self.binop(BinOp::Ule, a, b, InstrClass::Alu)
+    }
+
+    fn select(&mut self, c: CVal, a: CVal, b: CVal) -> CVal {
+        assert_eq!(c.w, Width::W1, "select condition must be boolean");
+        assert_eq!(a.w, b.w, "select arm width mismatch");
+        self.tracer.instr(InstrClass::Alu, 1);
+        if c.v != 0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    fn zext(&mut self, a: CVal, w: Width) -> CVal {
+        assert!(a.w.bits() <= w.bits(), "zext must widen");
+        self.tracer.instr(InstrClass::Alu, 1);
+        CVal::new(a.v, w)
+    }
+
+    fn trunc(&mut self, a: CVal, w: Width) -> CVal {
+        assert!(a.w.bits() >= w.bits(), "trunc must narrow");
+        self.tracer.instr(InstrClass::Alu, 1);
+        CVal::new(a.v, w)
+    }
+
+    fn branch(&mut self, c: CVal) -> bool {
+        assert_eq!(c.w, Width::W1, "branch condition must be boolean");
+        self.tracer.instr(InstrClass::Branch, 1);
+        c.v != 0
+    }
+
+    fn fork(&mut self, c: CVal) -> bool {
+        assert_eq!(c.w, Width::W1, "fork condition must be boolean");
+        c.v != 0
+    }
+
+    fn eq_free(&mut self, a: CVal, b: CVal) -> CVal {
+        assert_eq!(a.w, b.w);
+        CVal::new((a.v == b.v) as u64, Width::W1)
+    }
+
+    fn ule_free(&mut self, a: CVal, b: CVal) -> CVal {
+        assert_eq!(a.w, b.w);
+        CVal::new((a.v <= b.v) as u64, Width::W1)
+    }
+
+    fn load(&mut self, region: MemRegion, offset: u64, bytes: usize) -> CVal {
+        let w = Width::from_bytes(bytes);
+        self.tracer.mem_read(region.addr(offset), bytes as u8);
+        let buf = self
+            .buffers
+            .get(&region.base)
+            .expect("load from unregistered buffer");
+        let mut v = 0u64;
+        for i in 0..bytes {
+            v = (v << 8) | buf[offset as usize + i] as u64;
+        }
+        CVal::new(v, w)
+    }
+
+    fn store(&mut self, region: MemRegion, offset: u64, val: CVal, bytes: usize) {
+        assert_eq!(val.w, Width::from_bytes(bytes), "store width mismatch");
+        self.tracer.mem_write(region.addr(offset), bytes as u8);
+        let buf = self
+            .buffers
+            .get_mut(&region.base)
+            .expect("store to unregistered buffer");
+        for i in 0..bytes {
+            buf[offset as usize + i] = (val.v >> (8 * (bytes - 1 - i))) as u8;
+        }
+    }
+
+    fn fresh(&mut self, name: &str, _w: Width) -> CVal {
+        panic!(
+            "fresh({name}) called in concrete mode: data-structure models \
+             must only run under symbolic execution"
+        );
+    }
+
+    fn assume(&mut self, c: CVal) {
+        assert_eq!(c.w, Width::W1);
+        assert_eq!(c.v, 1, "assumption violated in concrete execution");
+    }
+
+    fn tag(&mut self, _tag: &'static str) {}
+
+    fn verdict(&mut self, v: NfVerdict) {
+        self.verdicts.push(v);
+    }
+
+    fn is_symbolic(&self) -> bool {
+        false
+    }
+
+    fn concrete_value(&self, v: CVal) -> Option<u64> {
+        Some(v.v)
+    }
+
+    fn tracer(&mut self) -> &mut dyn Tracer {
+        self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_trace::{count_ic_ma, AddressSpace, CountingTracer, NullTracer, RecordingTracer};
+
+    #[test]
+    fn arithmetic_wraps_to_width() {
+        let mut t = NullTracer;
+        let mut ctx = ConcreteCtx::new(&mut t);
+        let a = ctx.lit(0xFFFF, Width::W16);
+        let b = ctx.lit(1, Width::W16);
+        let s = ctx.add(a, b);
+        assert_eq!(s.v, 0);
+        assert_eq!(s.w, Width::W16);
+    }
+
+    #[test]
+    fn comparisons_produce_booleans() {
+        let mut t = NullTracer;
+        let mut ctx = ConcreteCtx::new(&mut t);
+        let a = ctx.lit(3, Width::W32);
+        let b = ctx.lit(5, Width::W32);
+        let lt = ctx.ult(a, b);
+        assert_eq!(lt, CVal::new(1, Width::W1));
+        assert!(ctx.branch(lt));
+    }
+
+    #[test]
+    fn loads_and_stores_are_big_endian() {
+        let mut aspace = AddressSpace::new();
+        let region = aspace.alloc_table(64);
+        let mut t = NullTracer;
+        let mut ctx = ConcreteCtx::new(&mut t);
+        ctx.register_buffer(region, vec![0x08, 0x00, 0xAA, 0xBB]);
+        let et = ctx.load(region, 0, 2);
+        assert_eq!(et.v, 0x0800);
+        let v = ctx.lit(0x1234, Width::W16);
+        ctx.store(region, 2, v, 2);
+        assert_eq!(&ctx.buffer(region).unwrap()[2..4], &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn costs_are_accounted() {
+        let mut t = CountingTracer::new();
+        let mut aspace = AddressSpace::new();
+        let region = aspace.alloc_table(64);
+        {
+            let mut ctx = ConcreteCtx::new(&mut t);
+            ctx.register_buffer(region, vec![0; 64]);
+            let a = ctx.lit(1, Width::W32); // free
+            let b = ctx.lit(2, Width::W32); // free
+            let s = ctx.add(a, b); // 1 alu
+            let c = ctx.eq(s, a); // 1 alu
+            ctx.branch(c); // 1 branch
+            let _ = ctx.load(region, 0, 4); // 1 load + access
+            ctx.store(region, 0, s, 4); // 1 store + access
+        }
+        assert_eq!(t.instructions, 5);
+        assert_eq!(t.mem_accesses, 2);
+    }
+
+    #[test]
+    fn event_stream_matches_expected_sequence() {
+        let mut r = RecordingTracer::new();
+        let mut aspace = AddressSpace::new();
+        let region = aspace.alloc_table(64);
+        {
+            let mut ctx = ConcreteCtx::new(&mut r);
+            ctx.register_buffer(region, vec![0; 64]);
+            let x = ctx.load(region, 8, 2);
+            let c = ctx.eq_imm(x, 0, Width::W16);
+            ctx.branch(c);
+        }
+        let (ic, ma) = count_ic_ma(&r.events);
+        assert_eq!((ic, ma), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh")]
+    fn fresh_panics_in_concrete_mode() {
+        let mut t = NullTracer;
+        let mut ctx = ConcreteCtx::new(&mut t);
+        let _ = ctx.fresh("model.x", Width::W32);
+    }
+
+    #[test]
+    fn verdicts_recorded() {
+        let mut t = NullTracer;
+        let mut ctx = ConcreteCtx::new(&mut t);
+        ctx.verdict(NfVerdict::Drop);
+        ctx.verdict(NfVerdict::Forward(3));
+        assert_eq!(
+            ctx.verdicts(),
+            &[NfVerdict::Drop, NfVerdict::Forward(3)]
+        );
+        assert_eq!(ctx.last_verdict(), Some(NfVerdict::Forward(3)));
+    }
+
+    #[test]
+    fn select_is_branchless() {
+        let mut t = CountingTracer::new();
+        {
+            let mut ctx = ConcreteCtx::new(&mut t);
+            let c = ctx.lit(1, Width::W1);
+            let a = ctx.lit(10, Width::W32);
+            let b = ctx.lit(20, Width::W32);
+            let r = ctx.select(c, a, b);
+            assert_eq!(r.v, 10);
+        }
+        assert_eq!(t.per_class[InstrClass::Branch.index()], 0);
+        assert_eq!(t.per_class[InstrClass::Alu.index()], 1);
+    }
+}

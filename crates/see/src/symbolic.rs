@@ -1,0 +1,508 @@
+//! Symbolic interpreter for [`NfCtx`] — the "analysis build".
+//!
+//! Values are [`bolt_expr`] terms. Packet memory is field-granular and
+//! lazy: the first read of `(offset, bytes)` in the packet region mints a
+//! named input symbol (`pkt@12:2`); stores overwrite the field's term.
+//! Branches on symbolic conditions consult the decision schedule installed
+//! by the [`Explorer`](crate::Explorer); beyond the schedule, the
+//! interpreter takes the true arm unless a quick solver check proves it
+//! infeasible (which both prunes dead paths early and guarantees progress
+//! for loops whose bounds are symbolic but constrained).
+//!
+//! Limitations, documented and intentional (same shape as the paper's
+//! prototype): load/store offsets must be concrete along any given path,
+//! and a field must always be accessed at the same granularity.
+
+use std::collections::HashMap;
+
+use bolt_expr::{BinOp, SymId, TermPool, TermRef, Width};
+use bolt_solver::Solver;
+use bolt_trace::{AddressSpace, InstrClass, MemRegion, RecordingTracer, TraceEvent, Tracer};
+
+use crate::{NfCtx, NfVerdict};
+
+/// A lazily-minted symbolic packet field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketField {
+    /// Byte offset within the packet region.
+    pub offset: u64,
+    /// Field size in bytes.
+    pub bytes: u8,
+    /// The input symbol minted for it.
+    pub sym: SymId,
+    /// The symbol as a term.
+    pub term: TermRef,
+}
+
+/// One recorded path constraint, remembering whether it came from a branch
+/// (and which one) so the explorer can rebuild constraint prefixes.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstraintEntry {
+    /// The (width-1) constraint term.
+    pub term: TermRef,
+    /// Index of the symbolic branch that produced it, if any.
+    pub branch: Option<usize>,
+}
+
+/// Raw per-run record handed to the explorer.
+#[derive(Debug, Default)]
+pub struct RunRecord {
+    /// Every decision taken at a symbolic branch, in order.
+    pub decisions: Vec<bool>,
+    /// The condition term of each symbolic branch.
+    pub branch_conds: Vec<TermRef>,
+    /// Ordered constraints (branch-derived and assumed).
+    pub entries: Vec<ConstraintEntry>,
+    /// Recorded stateless event trace.
+    pub events: Vec<TraceEvent>,
+    /// Path tags.
+    pub tags: Vec<&'static str>,
+    /// Verdicts (last one wins).
+    pub verdicts: Vec<NfVerdict>,
+    /// Lazily-minted input packet fields.
+    pub packet_fields: Vec<PacketField>,
+    /// Final `(offset, bytes) → term` state of the packet region.
+    pub final_packet: Vec<(u64, u8, TermRef)>,
+}
+
+/// Symbolic execution context for one run (one candidate path).
+pub struct SymbolicCtx<'p> {
+    pool: &'p mut TermPool,
+    solver: &'p Solver,
+    tracer: RecordingTracer,
+    schedule: Vec<bool>,
+    decisions: Vec<bool>,
+    branch_conds: Vec<TermRef>,
+    entries: Vec<ConstraintEntry>,
+    mem: HashMap<(u64, u8), TermRef>,
+    packet_fields: Vec<PacketField>,
+    tags: Vec<&'static str>,
+    verdicts: Vec<NfVerdict>,
+    fresh_names: HashMap<String, usize>,
+    aspace: AddressSpace,
+    packet_region: Option<MemRegion>,
+}
+
+impl<'p> SymbolicCtx<'p> {
+    /// New context that will replay `schedule` and then default-explore.
+    pub fn new(pool: &'p mut TermPool, solver: &'p Solver, schedule: Vec<bool>) -> Self {
+        SymbolicCtx {
+            pool,
+            solver,
+            tracer: RecordingTracer::new(),
+            schedule,
+            decisions: Vec::new(),
+            branch_conds: Vec::new(),
+            entries: Vec::new(),
+            mem: HashMap::new(),
+            packet_fields: Vec::new(),
+            tags: Vec::new(),
+            verdicts: Vec::new(),
+            fresh_names: HashMap::new(),
+            aspace: AddressSpace::new(),
+            packet_region: None,
+        }
+    }
+
+    /// Allocate the symbolic packet region (deterministic across runs:
+    /// every run allocates from a fresh, identical address space).
+    pub fn packet(&mut self, len: u64) -> MemRegion {
+        let r = self.aspace.alloc_pages(len.max(64));
+        self.packet_region = Some(r);
+        r
+    }
+
+    /// Allocate an auxiliary simulated region (deterministic across runs
+    /// if allocation order is deterministic).
+    pub fn alloc_region(&mut self, size: u64) -> MemRegion {
+        self.aspace.alloc_table(size)
+    }
+
+    /// Direct pool access for advanced callers (class builders, chain
+    /// composition live in `bolt-core`).
+    pub fn pool(&mut self) -> &mut TermPool {
+        self.pool
+    }
+
+    /// Current path constraints (terms only).
+    pub fn constraints(&self) -> Vec<TermRef> {
+        self.entries.iter().map(|e| e.term).collect()
+    }
+
+    /// The most recent verdict recorded on this path, if any.
+    pub fn last_verdict(&self) -> Option<NfVerdict> {
+        self.verdicts.last().copied()
+    }
+
+    /// Tear down the run and emit its record.
+    pub fn finish(self) -> RunRecord {
+        let pkt = self.packet_region;
+        let mut final_packet: Vec<(u64, u8, TermRef)> = self
+            .mem
+            .iter()
+            .filter_map(|(&(addr, bytes), &term)| {
+                let r = pkt?;
+                r.contains(addr).then(|| (addr - r.base, bytes, term))
+            })
+            .collect();
+        final_packet.sort_by_key(|&(o, b, _)| (o, b));
+        RunRecord {
+            decisions: self.decisions,
+            branch_conds: self.branch_conds,
+            entries: self.entries,
+            events: self.tracer.events,
+            tags: self.tags,
+            verdicts: self.verdicts,
+            packet_fields: self.packet_fields,
+            final_packet,
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: TermRef, b: TermRef, cost: InstrClass) -> TermRef {
+        self.tracer.instr(cost, 1);
+        self.pool.binop(op, a, b)
+    }
+
+    fn unique_name(&mut self, name: &str) -> String {
+        let n = self.fresh_names.entry(name.to_string()).or_insert(0);
+        let uniq = if *n == 0 {
+            name.to_string()
+        } else {
+            format!("{name}#{n}")
+        };
+        *n += 1;
+        uniq
+    }
+}
+
+impl NfCtx for SymbolicCtx<'_> {
+    type Val = TermRef;
+
+    fn lit(&mut self, v: u64, w: Width) -> TermRef {
+        self.pool.constant(v, w)
+    }
+
+    fn add(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Add, a, b, InstrClass::Alu)
+    }
+    fn sub(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Sub, a, b, InstrClass::Alu)
+    }
+    fn mul(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Mul, a, b, InstrClass::Mul)
+    }
+    fn and(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::And, a, b, InstrClass::Alu)
+    }
+    fn or(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Or, a, b, InstrClass::Alu)
+    }
+    fn xor(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Xor, a, b, InstrClass::Alu)
+    }
+    fn shl(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Shl, a, b, InstrClass::Alu)
+    }
+    fn shr(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Shr, a, b, InstrClass::Alu)
+    }
+    fn eq(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Eq, a, b, InstrClass::Alu)
+    }
+    fn ne(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ne, a, b, InstrClass::Alu)
+    }
+    fn ult(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ult, a, b, InstrClass::Alu)
+    }
+    fn ule(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.binop(BinOp::Ule, a, b, InstrClass::Alu)
+    }
+
+    fn select(&mut self, c: TermRef, a: TermRef, b: TermRef) -> TermRef {
+        self.tracer.instr(InstrClass::Alu, 1);
+        self.pool.ite(c, a, b)
+    }
+
+    fn zext(&mut self, a: TermRef, w: Width) -> TermRef {
+        self.tracer.instr(InstrClass::Alu, 1);
+        self.pool.zext(a, w)
+    }
+
+    fn trunc(&mut self, a: TermRef, w: Width) -> TermRef {
+        self.tracer.instr(InstrClass::Alu, 1);
+        self.pool.trunc(a, w)
+    }
+
+    fn branch(&mut self, c: TermRef) -> bool {
+        self.tracer.instr(InstrClass::Branch, 1);
+        if let Some(v) = self.pool.as_const(c) {
+            return v != 0;
+        }
+        let idx = self.decisions.len();
+        let taken = if idx < self.schedule.len() {
+            self.schedule[idx]
+        } else {
+            // Beyond the schedule: default to the true arm unless it is
+            // provably infeasible (guarantees progress for bounded loops).
+            let mut probe = self.constraints();
+            probe.push(c);
+            self.solver.is_feasible(self.pool, &probe)
+        };
+        self.decisions.push(taken);
+        self.branch_conds.push(c);
+        let constraint = if taken { c } else { self.pool.not(c) };
+        self.entries.push(ConstraintEntry {
+            term: constraint,
+            branch: Some(idx),
+        });
+        taken
+    }
+
+    fn load(&mut self, region: MemRegion, offset: u64, bytes: usize) -> TermRef {
+        let addr = region.addr(offset);
+        self.tracer.mem_read(addr, bytes as u8);
+        let key = (addr, bytes as u8);
+        if let Some(&t) = self.mem.get(&key) {
+            return t;
+        }
+        let w = Width::from_bytes(bytes);
+        let is_packet = self.packet_region.map(|r| r.contains(addr)).unwrap_or(false);
+        let name = if is_packet {
+            format!("pkt@{offset}:{bytes}")
+        } else {
+            format!("mem@{:#x}:{bytes}", addr)
+        };
+        let t = self.pool.fresh_sym(&name, w);
+        self.mem.insert(key, t);
+        if is_packet {
+            if let bolt_expr::Term::Sym { id, .. } = *self.pool.get(t) {
+                self.packet_fields.push(PacketField {
+                    offset,
+                    bytes: bytes as u8,
+                    sym: id,
+                    term: t,
+                });
+            }
+        }
+        t
+    }
+
+    fn store(&mut self, region: MemRegion, offset: u64, v: TermRef, bytes: usize) {
+        let addr = region.addr(offset);
+        self.tracer.mem_write(addr, bytes as u8);
+        self.mem.insert((addr, bytes as u8), v);
+    }
+
+    fn fresh(&mut self, name: &str, w: Width) -> TermRef {
+        let uniq = self.unique_name(name);
+        self.pool.fresh_sym(&uniq, w)
+    }
+
+    fn fork(&mut self, c: TermRef) -> bool {
+        if let Some(v) = self.pool.as_const(c) {
+            return v != 0;
+        }
+        let idx = self.decisions.len();
+        let taken = if idx < self.schedule.len() {
+            self.schedule[idx]
+        } else {
+            let mut probe = self.constraints();
+            probe.push(c);
+            self.solver.is_feasible(self.pool, &probe)
+        };
+        self.decisions.push(taken);
+        self.branch_conds.push(c);
+        let constraint = if taken { c } else { self.pool.not(c) };
+        self.entries.push(ConstraintEntry {
+            term: constraint,
+            branch: Some(idx),
+        });
+        taken
+    }
+
+    fn eq_free(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.pool.eq(a, b)
+    }
+
+    fn ule_free(&mut self, a: TermRef, b: TermRef) -> TermRef {
+        self.pool.ule(a, b)
+    }
+
+    fn assume(&mut self, c: TermRef) {
+        if self.pool.as_const(c) == Some(1) {
+            return;
+        }
+        self.entries.push(ConstraintEntry {
+            term: c,
+            branch: None,
+        });
+    }
+
+    fn tag(&mut self, tag: &'static str) {
+        self.tags.push(tag);
+    }
+
+    fn verdict(&mut self, v: NfVerdict) {
+        self.verdicts.push(v);
+    }
+
+    fn is_symbolic(&self) -> bool {
+        true
+    }
+
+    fn concrete_value(&self, v: TermRef) -> Option<u64> {
+        self.pool.as_const(v)
+    }
+
+    fn tracer(&mut self) -> &mut dyn Tracer {
+        &mut self.tracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolt_trace::count_ic_ma;
+
+    fn setup() -> (TermPool, Solver) {
+        (TermPool::new(), Solver::default())
+    }
+
+    #[test]
+    fn lazy_packet_fields_are_memoised() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let a = ctx.load(pkt, 12, 2);
+        let b = ctx.load(pkt, 12, 2);
+        assert_eq!(a, b, "same field must return the same symbol");
+        let rec = ctx.finish();
+        assert_eq!(rec.packet_fields.len(), 1);
+        assert_eq!(rec.packet_fields[0].offset, 12);
+    }
+
+    #[test]
+    fn store_then_load_returns_stored_term() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let v = ctx.lit(0xBEEF, Width::W16);
+        ctx.store(pkt, 20, v, 2);
+        let r = ctx.load(pkt, 20, 2);
+        assert_eq!(ctx.concrete_value(r), Some(0xBEEF));
+    }
+
+    #[test]
+    fn concrete_branches_do_not_fork() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let t = ctx.lit(1, Width::W1);
+        assert!(ctx.branch(t));
+        let rec = ctx.finish();
+        assert!(rec.decisions.is_empty());
+        assert!(rec.entries.is_empty());
+    }
+
+    #[test]
+    fn symbolic_branch_records_decision_and_constraint() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let et = ctx.load(pkt, 12, 2);
+        let taken = ctx.branch_eq_imm(et, 0x0800, Width::W16);
+        assert!(taken, "default arm is true");
+        let rec = ctx.finish();
+        assert_eq!(rec.decisions, vec![true]);
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.entries[0].branch, Some(0));
+    }
+
+    #[test]
+    fn schedule_is_replayed() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![false]);
+        let pkt = ctx.packet(64);
+        let et = ctx.load(pkt, 12, 2);
+        let taken = ctx.branch_eq_imm(et, 0x0800, Width::W16);
+        assert!(!taken, "schedule forces the false arm");
+    }
+
+    #[test]
+    fn infeasible_true_arm_falls_back_to_false() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let n = ctx.load(pkt, 0, 1);
+        // Assume n < 1, then branch on n >= 1: the true arm is infeasible.
+        let one = ctx.lit(1, Width::W8);
+        let lt = ctx.ult(n, one);
+        ctx.assume(lt);
+        let ge = ctx.ule(one, n);
+        let taken = ctx.branch(ge);
+        assert!(!taken, "solver must steer away from the infeasible arm");
+    }
+
+    #[test]
+    fn bounded_symbolic_loop_terminates() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let n = ctx.load(pkt, 0, 1);
+        let three = ctx.lit(3, Width::W8);
+        let bound = ctx.ule(n, three);
+        ctx.assume(bound);
+        let mut iters = 0u64;
+        loop {
+            let i = ctx.lit(iters, Width::W8);
+            let more = ctx.ult(i, n);
+            if !ctx.branch(more) {
+                break;
+            }
+            iters += 1;
+            assert!(iters < 100, "loop must terminate via the solver");
+        }
+        assert_eq!(iters, 3, "default-true exploration runs to the bound");
+    }
+
+    #[test]
+    fn cost_stream_counts() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let x = ctx.load(pkt, 8, 2); // load
+        let c = ctx.eq_imm(x, 0, Width::W16); // alu
+        ctx.branch(c); // branch
+        let rec = ctx.finish();
+        let (ic, ma) = count_ic_ma(&rec.events);
+        assert_eq!((ic, ma), (3, 1));
+    }
+
+    #[test]
+    fn fresh_names_are_unique_per_run() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let a = ctx.fresh("m.hit", Width::W1);
+        let b = ctx.fresh("m.hit", Width::W1);
+        assert_ne!(a, b);
+        let rec = ctx.finish();
+        drop(rec);
+        assert_eq!(pool.sym_name(0), "m.hit");
+        assert_eq!(pool.sym_name(1), "m.hit#1");
+    }
+
+    #[test]
+    fn final_packet_reflects_writes() {
+        let (mut pool, solver) = setup();
+        let mut ctx = SymbolicCtx::new(&mut pool, &solver, vec![]);
+        let pkt = ctx.packet(64);
+        let _src = ctx.load(pkt, 26, 4);
+        let v = ctx.lit(0x0a000001, Width::W32);
+        ctx.store(pkt, 26, v, 4);
+        let rec = ctx.finish();
+        assert_eq!(rec.final_packet.len(), 1);
+        let (off, bytes, term) = rec.final_packet[0];
+        assert_eq!((off, bytes), (26, 4));
+        assert_eq!(pool.as_const(term), Some(0x0a000001));
+    }
+}

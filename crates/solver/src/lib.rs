@@ -1,0 +1,889 @@
+//! Constraint solving for NF path constraints.
+//!
+//! The paper's BOLT prototype drives Z3/STP through KLEE. The constraints
+//! produced by symbolic execution of *network functions* are shallow,
+//! though: equalities between packet fields and constants, range checks,
+//! and boolean case-selection symbols injected by data-structure models.
+//! This crate implements a small decision procedure specialised to that
+//! fragment:
+//!
+//! 1. **Propagation** — top-level conjunctions are flattened; equalities
+//!    bind symbols through a union-find; comparisons against constants
+//!    narrow per-symbol intervals; contradictions found here are definitive
+//!    [`SolveResult::Unsat`].
+//! 2. **Completion** — remaining free symbols are filled in by a bounded
+//!    randomized search (interval endpoints, midpoints, random samples,
+//!    plus equation-directed repair). Any witness found is checked by
+//!    concrete evaluation, so [`SolveResult::Sat`] is always sound.
+//! 3. Otherwise the result is [`SolveResult::Unknown`], which callers must
+//!    treat conservatively (keep the path / keep the pair) — exactly how
+//!    the paper's pipeline stays sound when the solver times out.
+
+use std::collections::HashMap;
+
+use bolt_expr::{BinOp, SymId, Term, TermPool, TermRef, UnOp, Width};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A satisfying assignment, total over the pool's symbols.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Witness {
+    values: HashMap<SymId, u64>,
+}
+
+impl Witness {
+    /// Value of a symbol (0 if the solver never had to constrain it).
+    pub fn get(&self, id: SymId) -> u64 {
+        self.values.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Bind a symbol (used by tests and by chain composition to pin the
+    /// upstream packet).
+    pub fn set(&mut self, id: SymId, v: u64) {
+        self.values.insert(id, v);
+    }
+
+    /// Evaluate a term under this witness.
+    pub fn eval(&self, pool: &TermPool, t: TermRef) -> u64 {
+        pool.eval(t, &|id| self.get(id))
+    }
+
+    /// Check that every constraint evaluates to true under this witness.
+    pub fn satisfies(&self, pool: &TermPool, constraints: &[TermRef]) -> bool {
+        constraints.iter().all(|&c| self.eval(pool, c) == 1)
+    }
+}
+
+/// Outcome of a solver query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A verified satisfying assignment.
+    Sat(Witness),
+    /// Definitive contradiction (found by propagation).
+    Unsat,
+    /// Search exhausted without a verdict; treat as possibly-satisfiable.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` unless definitively unsatisfiable — the conservative
+    /// interpretation used for path pruning and chain compatibility.
+    pub fn possibly_sat(&self) -> bool {
+        !matches!(self, SolveResult::Unsat)
+    }
+
+    /// The witness, if satisfiable.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            SolveResult::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Per-symbol interval domain (inclusive bounds within the symbol width).
+#[derive(Clone, Copy, Debug)]
+struct Interval {
+    lo: u64,
+    hi: u64,
+}
+
+impl Interval {
+    fn full(w: Width) -> Self {
+        Interval { lo: 0, hi: w.mask() }
+    }
+    fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+    fn singleton(self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+}
+
+/// The solver. Stateless between queries; deterministic for a given seed.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    /// Maximum number of randomized completion trials.
+    pub max_trials: usize,
+    /// RNG seed, mixed with a hash of the constraint set so each query is
+    /// deterministic but distinct queries explore differently.
+    pub seed: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            max_trials: 256,
+            seed: 0x0b17_c0de,
+        }
+    }
+}
+
+/// Internal propagation state.
+struct Propagator<'p> {
+    pool: &'p TermPool,
+    /// Union-find parent pointers over symbols that must be equal.
+    parent: HashMap<SymId, SymId>,
+    /// Constant binding of each representative.
+    bound: HashMap<SymId, u64>,
+    /// Interval of each representative.
+    interval: HashMap<SymId, Interval>,
+    /// Atoms propagation could not absorb, with their polarity.
+    residual: Vec<(TermRef, bool)>,
+    /// Disequalities `repr != value` collected for completion.
+    diseq: Vec<(SymId, u64)>,
+    contradiction: bool,
+}
+
+impl<'p> Propagator<'p> {
+    fn new(pool: &'p TermPool) -> Self {
+        Propagator {
+            pool,
+            parent: HashMap::new(),
+            bound: HashMap::new(),
+            interval: HashMap::new(),
+            residual: Vec::new(),
+            diseq: Vec::new(),
+            contradiction: false,
+        }
+    }
+
+    fn find(&mut self, s: SymId) -> SymId {
+        let p = *self.parent.get(&s).unwrap_or(&s);
+        if p == s {
+            return s;
+        }
+        let r = self.find(p);
+        self.parent.insert(s, r);
+        r
+    }
+
+    fn union(&mut self, a: SymId, b: SymId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        self.parent.insert(rb, ra);
+        if let Some(v) = self.bound.remove(&rb) {
+            self.bind(ra, v);
+        }
+        if let Some(i) = self.interval.remove(&rb) {
+            self.narrow(ra, i.lo, i.hi);
+        }
+    }
+
+    fn iv(&mut self, s: SymId) -> Interval {
+        let w = self.pool.sym_width(s);
+        *self.interval.entry(s).or_insert_with(|| Interval::full(w))
+    }
+
+    fn bind(&mut self, s: SymId, v: u64) {
+        let r = self.find(s);
+        match self.bound.get(&r) {
+            Some(&old) if old != v => self.contradiction = true,
+            Some(_) => {}
+            None => {
+                self.bound.insert(r, v);
+                self.narrow(r, v, v);
+            }
+        }
+    }
+
+    fn narrow(&mut self, s: SymId, lo: u64, hi: u64) {
+        let r = self.find(s);
+        let mut iv = self.iv(r);
+        iv.lo = iv.lo.max(lo);
+        iv.hi = iv.hi.min(hi);
+        if iv.is_empty() {
+            self.contradiction = true;
+            return;
+        }
+        self.interval.insert(r, iv);
+        if let Some(v) = iv.singleton() {
+            match self.bound.get(&r) {
+                Some(&old) if old != v => self.contradiction = true,
+                Some(_) => {}
+                None => {
+                    self.bound.insert(r, v);
+                }
+            }
+        }
+    }
+
+    fn value_of(&mut self, s: SymId) -> Option<u64> {
+        let r = self.find(s);
+        self.bound.get(&r).copied()
+    }
+
+    /// Evaluate a term if it is fully determined by current bindings.
+    fn partial_eval(&mut self, t: TermRef) -> Option<u64> {
+        match *self.pool.get(t) {
+            Term::Const { value, .. } => Some(value),
+            Term::Sym { id, .. } => self.value_of(id),
+            Term::Unop { op, a } => {
+                let w = self.pool.width(a);
+                self.partial_eval(a).map(|v| op.apply(v, w))
+            }
+            Term::Binop { op, a, b } => {
+                let w = self.pool.width(a);
+                let va = self.partial_eval(a)?;
+                let vb = self.partial_eval(b)?;
+                Some(op.apply(va, vb, w))
+            }
+            Term::Ite { c, t: tt, e } => {
+                let vc = self.partial_eval(c)?;
+                if vc != 0 {
+                    self.partial_eval(tt)
+                } else {
+                    self.partial_eval(e)
+                }
+            }
+            Term::Zext { a, .. } => self.partial_eval(a),
+            Term::Trunc { a, width } => self.partial_eval(a).map(|v| v & width.mask()),
+        }
+    }
+
+    /// Assert an atom (a width-1 term) with the given polarity, absorbing
+    /// what we can into bindings/intervals; the rest goes to `residual`.
+    fn assert_atom(&mut self, t: TermRef, polarity: bool) {
+        if self.contradiction {
+            return;
+        }
+        if let Some(v) = self.partial_eval(t) {
+            if (v != 0) != polarity {
+                self.contradiction = true;
+            }
+            return;
+        }
+        match *self.pool.get(t) {
+            Term::Unop { op: UnOp::Not, a } => self.assert_atom(a, !polarity),
+            Term::Sym { id, width } if width == Width::W1 => {
+                self.bind(id, polarity as u64);
+            }
+            Term::Binop { op: BinOp::And, a, b } if polarity => {
+                self.assert_atom(a, true);
+                self.assert_atom(b, true);
+            }
+            Term::Binop { op: BinOp::Or, a, b } if !polarity => {
+                self.assert_atom(a, false);
+                self.assert_atom(b, false);
+            }
+            Term::Binop { op, a, b } => {
+                if !self.assert_comparison(op, a, b, polarity) {
+                    self.residual.push((t, polarity));
+                }
+            }
+            _ => self.residual.push((t, polarity)),
+        }
+    }
+
+    /// Try to absorb a comparison into the domain; returns whether handled.
+    fn assert_comparison(&mut self, op: BinOp, a: TermRef, b: TermRef, pol: bool) -> bool {
+        // Normalise negated comparisons.
+        let (op, a, b) = match (op, pol) {
+            (BinOp::Eq, true) | (BinOp::Ne, false) => (BinOp::Eq, a, b),
+            (BinOp::Eq, false) | (BinOp::Ne, true) => (BinOp::Ne, a, b),
+            (BinOp::Ult, true) => (BinOp::Ult, a, b),
+            (BinOp::Ult, false) => (BinOp::Ule, b, a), // !(a<b)  ⇔  b<=a
+            (BinOp::Ule, true) => (BinOp::Ule, a, b),
+            (BinOp::Ule, false) => (BinOp::Ult, b, a), // !(a<=b) ⇔  b<a
+            _ => return false,
+        };
+        let sym_a = self.as_sym(a);
+        let sym_b = self.as_sym(b);
+        let val_a = self.partial_eval(a);
+        let val_b = self.partial_eval(b);
+        match op {
+            BinOp::Eq => match (sym_a, val_a, sym_b, val_b) {
+                (Some(x), _, _, Some(v)) => {
+                    self.bind(x, v);
+                    true
+                }
+                (_, Some(v), Some(y), _) => {
+                    self.bind(y, v);
+                    true
+                }
+                (Some(x), _, Some(y), _) => {
+                    self.union(x, y);
+                    true
+                }
+                _ => false,
+            },
+            BinOp::Ne => match (sym_a, val_a, sym_b, val_b) {
+                (Some(x), _, _, Some(v)) | (_, Some(v), Some(x), _) => {
+                    let r = self.find(x);
+                    self.diseq.push((r, v));
+                    let iv = self.iv(r);
+                    if iv.lo == iv.hi && iv.lo == v {
+                        self.contradiction = true;
+                    } else if iv.lo == v {
+                        self.narrow(r, v + 1, iv.hi);
+                    } else if iv.hi == v {
+                        self.narrow(r, iv.lo, v - 1);
+                    }
+                    true
+                }
+                _ => false,
+            },
+            BinOp::Ult => match (sym_a, val_a, sym_b, val_b) {
+                (Some(x), _, _, Some(v)) => {
+                    if v == 0 {
+                        self.contradiction = true;
+                    } else {
+                        self.narrow(x, 0, v - 1);
+                    }
+                    true
+                }
+                (_, Some(v), Some(y), _) => {
+                    let w = self.pool.sym_width(y);
+                    if v >= w.mask() {
+                        self.contradiction = true;
+                    } else {
+                        self.narrow(y, v + 1, w.mask());
+                    }
+                    true
+                }
+                _ => false,
+            },
+            BinOp::Ule => match (sym_a, val_a, sym_b, val_b) {
+                (Some(x), _, _, Some(v)) => {
+                    self.narrow(x, 0, v);
+                    true
+                }
+                (_, Some(v), Some(y), _) => {
+                    let w = self.pool.sym_width(y);
+                    self.narrow(y, v, w.mask());
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn as_sym(&self, t: TermRef) -> Option<SymId> {
+        match *self.pool.get(t) {
+            Term::Sym { id, .. } => Some(id),
+            _ => None,
+        }
+    }
+}
+
+impl Solver {
+    /// Create a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide the conjunction of `constraints` (each a width-1 term).
+    pub fn check(&self, pool: &TermPool, constraints: &[TermRef]) -> SolveResult {
+        let mut prop = Propagator::new(pool);
+        for &c in constraints {
+            prop.assert_atom(c, true);
+            if prop.contradiction {
+                return SolveResult::Unsat;
+            }
+        }
+        // Fixpoint: re-assert residual atoms whose operands may have since
+        // become evaluable (e.g. chained equalities asserted out of order).
+        loop {
+            let atoms = std::mem::take(&mut prop.residual);
+            let before = atoms.len();
+            for (t, pol) in atoms {
+                prop.assert_atom(t, pol);
+            }
+            if prop.contradiction {
+                return SolveResult::Unsat;
+            }
+            if prop.residual.len() >= before {
+                break;
+            }
+        }
+
+        // Component-wise exhaustive checking. Constraints are grouped
+        // into connected components by shared *unbound* symbols; a
+        // component whose free symbols span a small domain is enumerated
+        // completely. An unsatisfiable component makes the whole
+        // conjunction definitively Unsat (an unsat core). This is what
+        // lets the explorer prune contradictions over *derived* packet
+        // fields — e.g. the chain pair "firewall saw (ihl & 0xF) ≤ 5" ∧
+        // "router saw (ihl & 0xF) > 5" — which interval propagation over
+        // bare symbols cannot see, even when other constraints in the set
+        // range over 32-bit fields.
+        let bound_pairs: Vec<(SymId, u64)> = prop.bound.iter().map(|(&r, &v)| (r, v)).collect();
+        {
+            // Free-symbol support of each constraint.
+            let supports: Vec<Vec<SymId>> = constraints
+                .iter()
+                .map(|&c| {
+                    let reps: Vec<SymId> =
+                        pool.syms_of(c).into_iter().map(|s| prop.find(s)).collect();
+                    let mut v: Vec<SymId> = reps
+                        .into_iter()
+                        .filter(|r| !prop.bound.contains_key(r))
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            // Constraints whose symbols are all bound are decided by
+            // direct evaluation: the bindings are forced, so a false
+            // value here is a definitive contradiction.
+            let mut forced = Witness::default();
+            for &(r, v) in &bound_pairs {
+                forced.set(r, v);
+            }
+            for (ci, sup) in supports.iter().enumerate() {
+                if sup.is_empty() {
+                    let c = constraints[ci];
+                    let mut w = forced.clone();
+                    for s in pool.syms_of(c) {
+                        let r = prop.find(s);
+                        let v = w.get(r);
+                        w.set(s, v);
+                    }
+                    if w.eval(pool, c) != 1 {
+                        return SolveResult::Unsat;
+                    }
+                }
+            }
+            // Union-find over constraint indices via shared symbols.
+            let mut comp: HashMap<SymId, usize> = HashMap::new();
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut group_of_constraint: Vec<Option<usize>> = vec![None; constraints.len()];
+            for (ci, sup) in supports.iter().enumerate() {
+                if sup.is_empty() {
+                    continue;
+                }
+                // Find an existing group among this constraint's symbols.
+                let mut g = None;
+                for s in sup {
+                    if let Some(&gi) = comp.get(s) {
+                        g = Some(gi);
+                        break;
+                    }
+                }
+                let gi = g.unwrap_or_else(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(ci);
+                group_of_constraint[ci] = Some(gi);
+                for &s in sup {
+                    if let Some(&old) = comp.get(&s) {
+                        if old != gi {
+                            // Merge: move old group's constraints in.
+                            let moved = std::mem::take(&mut groups[old]);
+                            for m in &moved {
+                                group_of_constraint[*m] = Some(gi);
+                            }
+                            groups[gi].extend(moved);
+                            for v in comp.values_mut() {
+                                if *v == old {
+                                    *v = gi;
+                                }
+                            }
+                        }
+                    }
+                    comp.insert(s, gi);
+                }
+            }
+            let mut partial = Witness::default();
+            for &(r, v) in &bound_pairs {
+                partial.set(r, v);
+            }
+            let mut all_components_solved = true;
+            for group in groups.iter().filter(|g| !g.is_empty()) {
+                let mut syms: Vec<SymId> = group
+                    .iter()
+                    .flat_map(|&ci| supports[ci].iter().copied())
+                    .collect();
+                syms.sort_unstable();
+                syms.dedup();
+                let domain: u128 = syms
+                    .iter()
+                    .map(|&r| {
+                        let iv = prop.iv(r);
+                        (iv.hi - iv.lo) as u128 + 1
+                    })
+                    .product();
+                if syms.len() > 2 || domain > 4096 {
+                    all_components_solved = false;
+                    continue;
+                }
+                let group_terms: Vec<TermRef> = group.iter().map(|&ci| constraints[ci]).collect();
+                let intervals: Vec<Interval> = syms.iter().map(|&r| prop.iv(r)).collect();
+                let mut assignment: Vec<u64> = intervals.iter().map(|iv| iv.lo).collect();
+                let mut found = false;
+                'enumerate: loop {
+                    let mut w = Witness::default();
+                    for (&r, &v) in syms.iter().zip(&assignment) {
+                        w.set(r, v);
+                    }
+                    for &(r, v) in &bound_pairs {
+                        w.set(r, v);
+                    }
+                    // Member symbols of enumerated/bound representatives.
+                    for &c in &group_terms {
+                        for s in pool.syms_of(c) {
+                            let r = prop.find(s);
+                            let v = w.get(r);
+                            w.set(s, v);
+                        }
+                    }
+                    if w.satisfies(pool, &group_terms) {
+                        found = true;
+                        for (&r, &v) in syms.iter().zip(&assignment) {
+                            partial.set(r, v);
+                        }
+                        break 'enumerate;
+                    }
+                    let mut i = 0;
+                    loop {
+                        if i == syms.len() {
+                            break 'enumerate;
+                        }
+                        if assignment[i] < intervals[i].hi {
+                            assignment[i] += 1;
+                            break;
+                        }
+                        assignment[i] = intervals[i].lo;
+                        i += 1;
+                    }
+                }
+                if !found {
+                    return SolveResult::Unsat;
+                }
+            }
+            if all_components_solved {
+                // Every component got a witness over disjoint symbols:
+                // merge, extend to members, and verify.
+                let mut w = partial.clone();
+                for &c in constraints {
+                    for s in pool.syms_of(c) {
+                        let r = prop.find(s);
+                        let v = w.get(r);
+                        w.set(s, v);
+                    }
+                }
+                if w.satisfies(pool, constraints) {
+                    return SolveResult::Sat(w);
+                }
+            }
+        }
+
+        // Completion: every sym in the pool gets a value.
+        let all_syms: Vec<SymId> = (0..pool.sym_count() as SymId).collect();
+        let mut seed = self.seed;
+        for &c in constraints {
+            seed = seed
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(c.index() as u64 + 1);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        for trial in 0..self.max_trials {
+            let mut w = Witness::default();
+            for &s in &all_syms {
+                let r = prop.find(s);
+                if w.values.contains_key(&r) {
+                    continue;
+                }
+                let v = if let Some(v) = prop.bound.get(&r).copied() {
+                    v
+                } else {
+                    let iv = prop.iv(r);
+                    let v = match trial {
+                        0 => iv.lo,
+                        1 => iv.hi,
+                        2 => iv.lo + (iv.hi - iv.lo) / 2,
+                        _ => {
+                            if iv.hi == iv.lo {
+                                iv.lo
+                            } else {
+                                iv.lo + rng.gen_range(0..=(iv.hi - iv.lo))
+                            }
+                        }
+                    };
+                    if prop.diseq.iter().any(|&(ds, dv)| ds == r && dv == v) {
+                        if v < iv.hi {
+                            v + 1
+                        } else {
+                            v.saturating_sub(1).max(iv.lo)
+                        }
+                    } else {
+                        v
+                    }
+                };
+                w.set(r, v);
+            }
+            // Propagate representative values to all class members.
+            for &s in &all_syms {
+                let r = prop.find(s);
+                let v = w.get(r);
+                w.set(s, v);
+            }
+            // Equation-directed repair for residual equalities of the form
+            // `sym == expr` / `expr == sym`.
+            for _ in 0..4 {
+                let mut repaired = false;
+                for &(t, pol) in &prop.residual {
+                    if w.eval(pool, t) == pol as u64 {
+                        continue;
+                    }
+                    if let Term::Binop { op: BinOp::Eq, a, b } = *pool.get(t) {
+                        if pol {
+                            if let Some(x) = prop.as_sym(a) {
+                                let v = w.eval(pool, b);
+                                w.set(x, v);
+                                repaired = true;
+                            } else if let Some(y) = prop.as_sym(b) {
+                                let v = w.eval(pool, a);
+                                w.set(y, v);
+                                repaired = true;
+                            }
+                        }
+                    }
+                }
+                if !repaired {
+                    break;
+                }
+            }
+            if w.satisfies(pool, constraints) {
+                return SolveResult::Sat(w);
+            }
+        }
+        SolveResult::Unknown
+    }
+
+    /// Conservative feasibility: `true` unless definitively unsatisfiable.
+    pub fn is_feasible(&self, pool: &TermPool, constraints: &[TermRef]) -> bool {
+        self.check(pool, constraints).possibly_sat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> Solver {
+        Solver::default()
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        let pool = TermPool::new();
+        assert!(matches!(solver().check(&pool, &[]), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn field_equality() {
+        let mut p = TermPool::new();
+        let et = p.fresh_sym("ether_type", Width::W16);
+        let c = p.constant(0x0800, Width::W16);
+        let eq = p.eq(et, c);
+        match solver().check(&p, &[eq]) {
+            SolveResult::Sat(w) => assert_eq!(w.get(0), 0x0800),
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_equalities_unsat() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let c3 = p.constant(3, Width::W32);
+        let c4 = p.constant(4, Width::W32);
+        let a = p.eq(x, c3);
+        let b = p.eq(x, c4);
+        assert_eq!(solver().check(&p, &[a, b]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_interval_unsat() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let five = p.constant(5, Width::W32);
+        let seven = p.constant(7, Width::W32);
+        let lt = p.ult(x, five);
+        let ge = p.ule(seven, x);
+        assert_eq!(solver().check(&p, &[lt, ge]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn boolean_conflict_unsat() {
+        let mut p = TermPool::new();
+        let b = p.fresh_sym("hit", Width::W1);
+        let nb = p.not(b);
+        assert_eq!(solver().check(&p, &[b, nb]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn union_find_transitivity() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let z = p.fresh_sym("z", Width::W32);
+        let c = p.constant(9, Width::W32);
+        let exy = p.eq(x, y);
+        let eyz = p.eq(y, z);
+        let ezc = p.eq(z, c);
+        match solver().check(&p, &[exy, eyz, ezc]) {
+            SolveResult::Sat(w) => {
+                assert_eq!(w.get(0), 9);
+                assert_eq!(w.get(1), 9);
+                assert_eq!(w.get(2), 9);
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn union_find_conflict() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let c1 = p.constant(1, Width::W32);
+        let c2 = p.constant(2, Width::W32);
+        let exc = p.eq(x, c1);
+        let eyc = p.eq(y, c2);
+        let exy = p.eq(x, y);
+        assert_eq!(solver().check(&p, &[exc, eyc, exy]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn range_witness_in_bounds() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let lo = p.constant(10, Width::W32);
+        let hi = p.constant(20, Width::W32);
+        let a = p.ule(lo, x);
+        let b = p.ult(x, hi);
+        match solver().check(&p, &[a, b]) {
+            SolveResult::Sat(w) => {
+                let v = w.get(0);
+                assert!((10..20).contains(&v), "witness {v} out of range");
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_respected() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W8);
+        let c = p.constant(0, Width::W8);
+        let ne = p.ne(x, c);
+        let three = p.constant(3, Width::W8);
+        let lt = p.ult(x, three);
+        match solver().check(&p, &[ne, lt]) {
+            SolveResult::Sat(w) => {
+                let v = w.get(0);
+                assert!(v == 1 || v == 2);
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn equation_directed_repair() {
+        // y == x + 5 with x == 3: repair must find y = 8.
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let five = p.constant(5, Width::W32);
+        let sum = p.add(x, five);
+        let eq1 = p.eq(y, sum);
+        let three = p.constant(3, Width::W32);
+        let eq2 = p.eq(x, three);
+        match solver().check(&p, &[eq1, eq2]) {
+            SolveResult::Sat(w) => {
+                assert_eq!(w.get(0), 3);
+                assert_eq!(w.get(1), 8);
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_style_link_constraint() {
+        // Downstream input symbol linked to an upstream output expression:
+        // out = ite(opts == 0, 0x0800, 0x86dd); in == out; in == 0x0800.
+        let mut p = TermPool::new();
+        let opts = p.fresh_sym("nf1.ip_opts", Width::W8);
+        let inp = p.fresh_sym("nf2.ether_type", Width::W16);
+        let zero8 = p.constant(0, Width::W8);
+        let is_zero = p.eq(opts, zero8);
+        let v4 = p.constant(0x0800, Width::W16);
+        let v6 = p.constant(0x86dd, Width::W16);
+        let out = p.ite(is_zero, v4, v6);
+        let link = p.eq(inp, out);
+        let want = p.eq(inp, v4);
+        match solver().check(&p, &[link, want]) {
+            SolveResult::Sat(w) => {
+                assert_eq!(w.get(0), 0, "opts must be 0");
+                assert_eq!(w.get(1), 0x0800);
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_contradiction_unsat() {
+        let mut p = TermPool::new();
+        let inp = p.fresh_sym("in", Width::W16);
+        let c5 = p.constant(5, Width::W16);
+        let c6 = p.constant(6, Width::W16);
+        let a = p.eq(inp, c5);
+        let b = p.eq(inp, c6);
+        assert_eq!(solver().check(&p, &[a, b]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn sat_results_are_verified() {
+        let mut p = TermPool::new();
+        let a = p.fresh_sym("a", Width::W8);
+        let b = p.fresh_sym("b", Width::W8);
+        let sum = p.add(a, b);
+        let c10 = p.constant(10, Width::W8);
+        let eq = p.eq(sum, c10);
+        let c3 = p.constant(3, Width::W8);
+        let alow = p.ule(a, c3);
+        if let SolveResult::Sat(w) = solver().check(&p, &[eq, alow]) {
+            assert!(w.satisfies(&p, &[eq, alow]));
+        }
+        // Unknown is acceptable here (the sum is outside the propagator's
+        // fragment); Sat must be genuine when returned.
+    }
+
+    #[test]
+    fn determinism() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let lo = p.constant(100, Width::W32);
+        let c = p.ule(lo, x);
+        let w1 = match solver().check(&p, &[c]) {
+            SolveResult::Sat(w) => w,
+            r => panic!("expected sat, got {r:?}"),
+        };
+        let w2 = match solver().check(&p, &[c]) {
+            SolveResult::Sat(w) => w,
+            r => panic!("expected sat, got {r:?}"),
+        };
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn negated_comparison_normalisation() {
+        // !(x < 5) and x <= 4 is unsat.
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let five = p.constant(5, Width::W32);
+        let four = p.constant(4, Width::W32);
+        let lt = p.ult(x, five);
+        let nlt = p.not(lt);
+        let le4 = p.ule(x, four);
+        assert_eq!(solver().check(&p, &[nlt, le4]), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests: every Sat verdict must carry a genuine witness,
+//! and crafted contradictions must never come back Sat.
+
+use bolt_expr::{TermPool, Width};
+use bolt_solver::{SolveResult, Solver};
+use proptest::prelude::*;
+
+proptest! {
+    /// Random conjunctions of interval constraints over two symbols:
+    /// the solver's verdict must agree with a brute-force check over the
+    /// (small) domain.
+    #[test]
+    fn interval_conjunctions_decided_correctly(
+        lo1 in 0u64..200, hi1 in 0u64..200,
+        lo2 in 0u64..200, hi2 in 0u64..200,
+        sum_max in 0u64..64,
+    ) {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W8);
+        let y = p.fresh_sym("y", Width::W8);
+        let mut cs = Vec::new();
+        let l1 = p.constant(lo1.min(255), Width::W8);
+        let h1 = p.constant(hi1.min(255), Width::W8);
+        let l2 = p.constant(lo2.min(255), Width::W8);
+        let h2 = p.constant(hi2.min(255), Width::W8);
+        cs.push(p.ule(l1, x));
+        cs.push(p.ule(x, h1));
+        cs.push(p.ule(l2, y));
+        cs.push(p.ule(y, h2));
+        // A cross-symbol constraint the propagator cannot absorb: x + y
+        // must wrap-sum below sum_max (8-bit add).
+        let sum = p.add(x, y);
+        let sm = p.constant(sum_max, Width::W8);
+        cs.push(p.ult(sum, sm));
+        let verdict = Solver::default().check(&p, &cs);
+        // Brute force over the byte domain.
+        let mut sat = false;
+        'outer: for xv in lo1.min(255)..=hi1.min(255) {
+            for yv in lo2.min(255)..=hi2.min(255) {
+                if (xv + yv) & 0xFF < sum_max {
+                    sat = true;
+                    break 'outer;
+                }
+            }
+        }
+        match verdict {
+            SolveResult::Sat(w) => {
+                prop_assert!(sat, "solver Sat but brute force says Unsat");
+                prop_assert!(w.satisfies(&p, &cs), "witness does not satisfy");
+            }
+            SolveResult::Unsat => prop_assert!(!sat, "solver Unsat but a model exists"),
+            SolveResult::Unknown => {
+                // Unknown is always sound; it just costs precision.
+            }
+        }
+    }
+
+    /// Equality chains bind transitively and witnesses respect them.
+    #[test]
+    fn equality_chains(v in 0u64..0xFFFF, n in 2usize..6) {
+        let mut p = TermPool::new();
+        let syms: Vec<_> = (0..n).map(|i| p.fresh_sym(format!("s{i}"), Width::W16)).collect();
+        let mut cs = Vec::new();
+        for w in syms.windows(2) {
+            cs.push(p.eq(w[0], w[1]));
+        }
+        let c = p.constant(v, Width::W16);
+        cs.push(p.eq(syms[n - 1], c));
+        match Solver::default().check(&p, &cs) {
+            SolveResult::Sat(w) => {
+                for i in 0..n as u32 {
+                    prop_assert_eq!(w.get(i), v & 0xFFFF);
+                }
+            }
+            other => prop_assert!(false, "expected Sat, got {:?}", other),
+        }
+    }
+
+    /// A pinned symbol with a contradicting disequality is Unsat.
+    #[test]
+    fn pinned_disequality_unsat(v in 0u64..0xFFFF) {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W16);
+        let c = p.constant(v, Width::W16);
+        let eq = p.eq(x, c);
+        let ne = p.ne(x, c);
+        prop_assert_eq!(Solver::default().check(&p, &[eq, ne]), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,305 @@
+//! Traffic generators for the evaluation's input classes.
+
+use dpdk_sim::headers as h;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TimedPacket;
+
+/// Uniform random UDP flows (the paper's "uniform random test workload"):
+/// each packet picks one of `flow_space` 5-tuples uniformly.
+pub fn uniform_udp_flows(
+    seed: u64,
+    n_packets: usize,
+    flow_space: u32,
+    gap_ns: u64,
+    port: u16,
+) -> Vec<TimedPacket> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_packets)
+        .map(|i| {
+            let f = rng.gen_range(0..flow_space);
+            let frame = h::PacketBuilder::new()
+                .eth(0x0202_0202_0202, 0x0101_0101_0101, h::ETHERTYPE_IPV4)
+                .ipv4(0x0A00_0000 | (f & 0xFFFF), 0x0808_0808, h::IPPROTO_UDP, 64)
+                .udp(1024 + (f >> 16) as u16, 80)
+                .build();
+            TimedPacket {
+                t_ns: i as u64 * gap_ns,
+                frame,
+                port,
+            }
+        })
+        .collect()
+}
+
+/// Churn-controlled flows: `active` concurrent flows; each packet
+/// belongs to a live flow, and every `renewal_every` packets one flow
+/// dies and a fresh one replaces it. `renewal_every = 1` is the paper's
+/// "high churn, few short-lived flows"; large values give "low churn,
+/// long-lived flows".
+pub fn churn_flows(
+    seed: u64,
+    n_packets: usize,
+    active: usize,
+    renewal_every: usize,
+    gap_ns: u64,
+    port: u16,
+) -> Vec<TimedPacket> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_id: u32 = active as u32;
+    let mut live: Vec<u32> = (0..active as u32).collect();
+    (0..n_packets)
+        .map(|i| {
+            if renewal_every > 0 && i % renewal_every == renewal_every - 1 {
+                let victim = rng.gen_range(0..live.len());
+                live[victim] = next_id;
+                next_id += 1;
+            }
+            let f = live[rng.gen_range(0..live.len())];
+            let frame = h::PacketBuilder::new()
+                .eth(0x0202_0202_0202, 0x0101_0101_0101, h::ETHERTYPE_IPV4)
+                .ipv4(0x0A00_0000 | (f & 0xFFFF), 0x0808_0808, h::IPPROTO_UDP, 64)
+                .udp(1024u16.wrapping_add((f >> 16) as u16), 80)
+                .build();
+            TimedPacket {
+                t_ns: i as u64 * gap_ns,
+                frame,
+                port,
+            }
+        })
+        .collect()
+}
+
+/// Bridge traffic with uniform random source/destination MACs drawn from
+/// `mac_space` hosts (scenario Br3-style unicast when `broadcast` is
+/// false, Br2 when true).
+pub fn bridge_traffic(
+    seed: u64,
+    n_packets: usize,
+    mac_space: u64,
+    broadcast: bool,
+    gap_ns: u64,
+) -> Vec<TimedPacket> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_packets)
+        .map(|i| {
+            let src = 0x0200_0000_0000 + rng.gen_range(0..mac_space);
+            let dst = if broadcast {
+                0xFFFF_FFFF_FFFF
+            } else {
+                0x0200_0000_0000 + rng.gen_range(0..mac_space)
+            };
+            let frame = h::PacketBuilder::new()
+                .eth(dst, src, h::ETHERTYPE_IPV4)
+                .ipv4(1, 2, h::IPPROTO_UDP, 64)
+                .udp(1, 2)
+                .build();
+            TimedPacket {
+                t_ns: i as u64 * gap_ns,
+                frame,
+                port: (i % 2) as u16,
+            }
+        })
+        .collect()
+}
+
+/// Adversarial bridge traffic: source MACs chosen (by rejection sampling
+/// against the victim table's hash) to land in one slot — the
+/// collision-attack workload of §5.2. This substitutes for CASTAN's
+/// symbolic adversarial-input synthesis: the attacker knows the hash
+/// function but, against a seeded table, must guess.
+pub fn bridge_collision_attack(
+    bucket_of: impl Fn(u64) -> usize,
+    target_slot: usize,
+    n_packets: usize,
+    gap_ns: u64,
+) -> Vec<TimedPacket> {
+    let mut out = Vec::with_capacity(n_packets);
+    let mut nonce = 0x0300_0000_0000u64;
+    for i in 0..n_packets {
+        let src = loop {
+            nonce += 1;
+            if bucket_of(nonce) == target_slot {
+                break nonce;
+            }
+        };
+        let frame = h::PacketBuilder::new()
+            .eth(0x0200_0000_0001, src, h::ETHERTYPE_IPV4)
+            .ipv4(1, 2, h::IPPROTO_UDP, 64)
+            .udp(1, 2)
+            .build();
+        out.push(TimedPacket {
+            t_ns: i as u64 * gap_ns,
+            frame,
+            port: 0,
+        });
+    }
+    out
+}
+
+/// LPM router traffic: a mix of destinations matched by short (≤ 24-bit)
+/// and long (> 24-bit) prefixes. `long_fraction` ∈ [0, 1].
+pub fn lpm_traffic(
+    seed: u64,
+    n_packets: usize,
+    short_dst: u32,
+    long_dst: u32,
+    long_fraction: f64,
+    gap_ns: u64,
+) -> Vec<TimedPacket> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_packets)
+        .map(|i| {
+            let dst = if rng.gen_bool(long_fraction) {
+                long_dst
+            } else {
+                short_dst | (rng.gen::<u32>() & 0xFF)
+            };
+            let frame = h::PacketBuilder::new()
+                .eth(2, 1, h::ETHERTYPE_IPV4)
+                .ipv4(rng.gen(), dst, h::IPPROTO_UDP, 64)
+                .udp(rng.gen(), 80)
+                .build();
+            TimedPacket {
+                t_ns: i as u64 * gap_ns,
+                frame,
+                port: 0,
+            }
+        })
+        .collect()
+}
+
+/// Backend heartbeat packets for the load balancer (scenario LB5).
+pub fn heartbeats(
+    n_backends: u16,
+    rounds: usize,
+    every_ns: u64,
+    backend_port: u16,
+    hb_udp_port: u16,
+) -> Vec<TimedPacket> {
+    let mut out = Vec::with_capacity(n_backends as usize * rounds);
+    for r in 0..rounds {
+        for b in 0..n_backends {
+            let frame = h::PacketBuilder::new()
+                .eth(0x0200_0000_0001, 0x0200_0000_0100 + b as u64, h::ETHERTYPE_IPV4)
+                .ipv4(b as u32, 0x0A00_0001, h::IPPROTO_UDP, 64)
+                .udp(1, hb_udp_port)
+                .build();
+            out.push(TimedPacket {
+                t_ns: r as u64 * every_ns + b as u64,
+                frame,
+                port: backend_port,
+            });
+        }
+    }
+    out
+}
+
+/// Frames with `n` IPv4 option words (the chain experiment's slow-path
+/// traffic).
+pub fn options_traffic(n_packets: usize, n_options: u8, gap_ns: u64) -> Vec<TimedPacket> {
+    (0..n_packets)
+        .map(|i| {
+            let frame = h::PacketBuilder::new()
+                .eth(2, 1, h::ETHERTYPE_IPV4)
+                .ipv4(1, 0x0A000001, h::IPPROTO_UDP, 64)
+                .ipv4_options(n_options)
+                .udp(5, 6)
+                .build();
+            TimedPacket {
+                t_ns: i as u64 * gap_ns,
+                frame,
+                port: 0,
+            }
+        })
+        .collect()
+}
+
+/// Merge workloads by arrival time (stable for equal stamps).
+pub fn merge(mut streams: Vec<Vec<TimedPacket>>) -> Vec<TimedPacket> {
+    let mut out: Vec<TimedPacket> = streams.drain(..).flatten().collect();
+    out.sort_by_key(|p| p.t_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_flows_deterministic_and_well_formed() {
+        let a = uniform_udp_flows(1, 100, 64, 1000, 0);
+        let b = uniform_udp_flows(1, 100, 64, 1000, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        for p in &a {
+            assert_eq!(u16::from_be_bytes([p.frame[12], p.frame[13]]), 0x0800);
+            assert_eq!(p.frame[23], h::IPPROTO_UDP);
+        }
+        assert_eq!(a[99].t_ns, 99_000);
+    }
+
+    #[test]
+    fn churn_controls_flow_lifetime() {
+        // High churn: every packet replaces a flow → many distinct flows.
+        let hi = churn_flows(2, 500, 16, 1, 100, 0);
+        let lo = churn_flows(2, 500, 16, 500, 100, 0);
+        let distinct = |pkts: &[TimedPacket]| {
+            let mut set = std::collections::HashSet::new();
+            for p in pkts {
+                set.insert((p.frame[28], p.frame[29], p.frame[34], p.frame[35]));
+            }
+            set.len()
+        };
+        assert!(distinct(&hi) > 5 * distinct(&lo));
+    }
+
+    #[test]
+    fn broadcast_flag_sets_destination() {
+        let pkts = bridge_traffic(3, 10, 100, true, 100);
+        for p in &pkts {
+            assert_eq!(&p.frame[0..6], &[0xFF; 6]);
+        }
+        let uni = bridge_traffic(3, 10, 100, false, 100);
+        assert!(uni.iter().any(|p| p.frame[0..6] != [0xFF; 6]));
+    }
+
+    #[test]
+    fn collision_attack_hits_one_slot() {
+        // Fake hash: low 4 bits of the MAC.
+        let pkts = bridge_collision_attack(|m| (m & 0xF) as usize, 7, 20, 10);
+        assert_eq!(pkts.len(), 20);
+        for p in &pkts {
+            let src = u64::from_be_bytes([
+                0,
+                0,
+                p.frame[6],
+                p.frame[7],
+                p.frame[8],
+                p.frame[9],
+                p.frame[10],
+                p.frame[11],
+            ]);
+            assert_eq!(src & 0xF, 7, "src {src:#x} must collide");
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time() {
+        let a = uniform_udp_flows(1, 5, 8, 1000, 0);
+        let b = heartbeats(2, 2, 1500, 1, 9999);
+        let m = merge(vec![a, b]);
+        for w in m.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns);
+        }
+    }
+
+    #[test]
+    fn options_traffic_has_expected_ihl() {
+        let pkts = options_traffic(3, 4, 10);
+        for p in &pkts {
+            assert_eq!(p.frame[14], 0x49); // version 4, IHL 9
+        }
+    }
+}

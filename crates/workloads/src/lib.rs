@@ -1,0 +1,26 @@
+//! Workload generation: the MoonGen/PCAP side of the paper's testbed.
+//!
+//! Each generator produces a timed packet sequence ([`TimedPacket`])
+//! matching one of the evaluation's input classes: uniform random flows,
+//! churn-controlled NAT traffic, broadcast/unicast bridge frames,
+//! adversarially colliding MACs (the CASTAN-substitute for attack
+//! workloads), LPM address mixes, and backend heartbeats. [`pcap`]
+//! reads and writes the classic libpcap container so traces can move in
+//! and out of the toolchain (§4: the Distiller's input is "a sample of
+//! real-world traffic (as PCAP files)").
+
+pub mod generators;
+pub mod pcap;
+
+pub use generators::*;
+
+/// One workload packet: arrival time, frame bytes, ingress port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedPacket {
+    /// Arrival timestamp in nanoseconds.
+    pub t_ns: u64,
+    /// The frame.
+    pub frame: Vec<u8>,
+    /// Ingress device port.
+    pub port: u16,
+}

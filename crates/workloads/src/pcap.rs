@@ -1,0 +1,113 @@
+//! Minimal libpcap-format reader/writer.
+//!
+//! Implements the classic `0xa1b2c3d4` container (microsecond
+//! timestamps, LINKTYPE_ETHERNET), which is all the Distiller workflow
+//! needs to exchange traces with standard tools. Ingress ports are not
+//! part of the format; [`read`] assigns port 0 to every packet.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::TimedPacket;
+
+const MAGIC: u32 = 0xA1B2_C3D4;
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Write packets to a pcap file.
+pub fn write(path: impl AsRef<Path>, packets: &[TimedPacket]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    // Global header.
+    f.write_all(&MAGIC.to_le_bytes())?;
+    f.write_all(&2u16.to_le_bytes())?; // version major
+    f.write_all(&4u16.to_le_bytes())?; // version minor
+    f.write_all(&0i32.to_le_bytes())?; // thiszone
+    f.write_all(&0u32.to_le_bytes())?; // sigfigs
+    f.write_all(&65535u32.to_le_bytes())?; // snaplen
+    f.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for p in packets {
+        let secs = (p.t_ns / 1_000_000_000) as u32;
+        let usecs = (p.t_ns % 1_000_000_000 / 1_000) as u32;
+        f.write_all(&secs.to_le_bytes())?;
+        f.write_all(&usecs.to_le_bytes())?;
+        f.write_all(&(p.frame.len() as u32).to_le_bytes())?;
+        f.write_all(&(p.frame.len() as u32).to_le_bytes())?;
+        f.write_all(&p.frame)?;
+    }
+    Ok(())
+}
+
+/// Read packets from a pcap file.
+pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<TimedPacket>> {
+    let mut f = File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    parse(&buf)
+}
+
+/// Parse pcap bytes.
+pub fn parse(buf: &[u8]) -> io::Result<Vec<TimedPacket>> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if buf.len() < 24 {
+        return Err(err("truncated pcap header"));
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(err("unsupported pcap magic (only 0xa1b2c3d4 LE)"));
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off + 16 <= buf.len() {
+        let secs = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as u64;
+        let usecs = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap()) as u64;
+        let incl = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+        off += 16;
+        if off + incl > buf.len() {
+            return Err(err("truncated packet record"));
+        }
+        out.push(TimedPacket {
+            t_ns: secs * 1_000_000_000 + usecs * 1_000,
+            frame: buf[off..off + incl].to_vec(),
+            port: 0,
+        });
+        off += incl;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_udp_flows;
+
+    #[test]
+    fn roundtrip() {
+        let pkts = uniform_udp_flows(7, 50, 32, 2_000_000, 0);
+        let dir = std::env::temp_dir().join("bolt_pcap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pcap");
+        write(&path, &pkts).unwrap();
+        let back = read(&path).unwrap();
+        assert_eq!(back.len(), pkts.len());
+        for (a, b) in pkts.iter().zip(&back) {
+            assert_eq!(a.frame, b.frame);
+            // Timestamps round to microseconds.
+            assert_eq!(a.t_ns / 1000, b.t_ns / 1000);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&[0u8; 10]).is_err());
+        assert!(parse(&[0xFF; 64]).is_err());
+    }
+
+    #[test]
+    fn empty_capture_roundtrips() {
+        let dir = std::env::temp_dir().join("bolt_pcap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.pcap");
+        write(&path, &[]).unwrap();
+        assert!(read(&path).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # bolt — performance contracts for software network functions
+//!
+//! A Rust reproduction of *"Performance Contracts for Software Network
+//! Functions"* (Iyer et al., NSDI 2019). This umbrella crate re-exports
+//! the whole toolchain; see the README for the architecture and
+//! EXPERIMENTS.md for the paper-vs-reproduction numbers.
+//!
+//! The pipeline, end to end:
+//!
+//! ```
+//! use bolt::core::{generate, ClassSpec, InputClass};
+//! use bolt::expr::PcvAssignment;
+//! use bolt::nfs::example_router;
+//! use bolt::see::StackLevel;
+//! use bolt::solver::Solver;
+//! use bolt::trace::Metric;
+//!
+//! // 1. Symbolically execute the NF's analysis build (models linked in).
+//! let (reg, ids, exploration) = example_router::explore(StackLevel::FullStack);
+//! // 2. Generate the performance contract (Algorithm 2).
+//! let mut contract = generate(&reg, exploration);
+//! // 3. Query it: what do invalid packets cost, in instructions?
+//! let invalid = InputClass::new(
+//!     "invalid packets",
+//!     ClassSpec::field_ne(bolt::dpdk::headers::ETHER_TYPE, 2, 0x0800),
+//! );
+//! let solver = Solver::default();
+//! let mut env = PcvAssignment::new();
+//! env.set(ids.trie.l, 32); // worst-case matched prefix length
+//! let q = contract
+//!     .query(&solver, &invalid, Metric::Instructions, &env)
+//!     .unwrap();
+//! assert!(q.value > 0);
+//! ```
+
+pub use bolt_core as core;
+pub use bolt_distiller as distiller;
+pub use bolt_expr as expr;
+pub use bolt_hw as hw;
+pub use bolt_nfs as nfs;
+pub use bolt_solver as solver;
+pub use bolt_trace as trace;
+pub use bolt_workloads as workloads;
+pub use dpdk_sim as dpdk;
+pub use nf_lib as lib;
+
+/// Re-export of the symbolic/concrete execution engine with the stack
+/// level alias used throughout the examples.
+pub mod see {
+    pub use bolt_see::*;
+    pub use dpdk_sim::StackLevel;
+}

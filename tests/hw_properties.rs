@@ -1,0 +1,119 @@
+//! Cross-crate property tests: the conservative hardware model must bound
+//! the testbed on arbitrary event streams, and the analysis build must
+//! emit exactly the production build's stateless event stream.
+
+use bolt::expr::Width;
+use bolt::hw::{ConservativeModel, TestbedModel};
+use bolt::see::{ConcreteCtx, Explorer, NfCtx, NfVerdict, StackLevel};
+use bolt::trace::{count_ic_ma, InstrClass, RecordingTracer, Tracer};
+use dpdk_sim::{headers as h, sym_process_packet, DpdkEnv};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Instr(u8, u8),
+    Read(u16, bool),
+    Write(u16),
+}
+
+fn arb_ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u8..10, 1u8..8).prop_map(|(c, n)| Ev::Instr(c, n)),
+        (any::<u16>(), any::<bool>()).prop_map(|(a, d)| Ev::Read(a, d)),
+        any::<u16>().prop_map(Ev::Write),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For ANY event stream, conservative cycles ≥ testbed cycles.
+    #[test]
+    fn conservative_bounds_testbed(evs in prop::collection::vec(arb_ev(), 1..400)) {
+        let mut cons = ConservativeModel::new();
+        let mut test = TestbedModel::new();
+        for ev in &evs {
+            for m in [&mut cons as &mut dyn Tracer, &mut test as &mut dyn Tracer] {
+                match *ev {
+                    Ev::Instr(c, n) => m.instr(InstrClass::ALL[c as usize % 10], n as u32),
+                    Ev::Read(a, true) => m.mem_read_dep(0x1_0000 + a as u64 * 8, 8),
+                    Ev::Read(a, false) => m.mem_read(0x1_0000 + a as u64 * 8, 8),
+                    Ev::Write(a) => m.mem_write(0x1_0000 + a as u64 * 8, 8),
+                }
+            }
+        }
+        prop_assert!(
+            cons.cycles() >= test.cycles(),
+            "bound violated: {} < {}",
+            cons.cycles(),
+            test.cycles()
+        );
+    }
+
+    /// The analysis build (symbolic, models linked) and the production
+    /// build emit identical stateless IC/MA for the same path, for any
+    /// EtherType/TTL combination driving a small NF.
+    #[test]
+    fn analysis_and_production_streams_agree(ether_type: u16, ttl: u8) {
+        // Symbolic exploration of a toy NF: ethertype gate + TTL check.
+        let result = Explorer::new().explore(|ctx| {
+            sym_process_packet(ctx, StackLevel::FullStack, 64, |ctx, mbuf| {
+                let et = ctx.load(mbuf.region, h::ETHER_TYPE, 2);
+                if ctx.branch_eq_imm(et, h::ETHERTYPE_IPV4 as u64, Width::W16) {
+                    let t = ctx.load(mbuf.region, h::IPV4_TTL, 1);
+                    let one = ctx.lit(1, Width::W8);
+                    let dead = ctx.ule(t, one);
+                    if ctx.branch(dead) {
+                        ctx.verdict(NfVerdict::Drop);
+                    } else {
+                        ctx.verdict(NfVerdict::Forward(1));
+                    }
+                } else {
+                    ctx.verdict(NfVerdict::Drop);
+                }
+            });
+        });
+        // Concrete run of the same NF on a packet with the generated
+        // fields.
+        let frame = h::PacketBuilder::new()
+            .eth(2, 1, ether_type)
+            .ipv4(1, 2, h::IPPROTO_UDP, ttl)
+            .udp(1, 2)
+            .build();
+        let mut rec = RecordingTracer::new();
+        let mut env = DpdkEnv::full_stack();
+        let mut cctx = ConcreteCtx::new(&mut rec);
+        let verdict = env.process_packet(&mut cctx, &frame, 0, |ctx, mbuf| {
+            let et = ctx.load(mbuf.region, h::ETHER_TYPE, 2);
+            if ctx.branch_eq_imm(et, h::ETHERTYPE_IPV4 as u64, Width::W16) {
+                let t = ctx.load(mbuf.region, h::IPV4_TTL, 1);
+                let one = ctx.lit(1, Width::W8);
+                let dead = ctx.ule(t, one);
+                if ctx.branch(dead) {
+                    ctx.verdict(NfVerdict::Drop);
+                } else {
+                    ctx.verdict(NfVerdict::Forward(1));
+                }
+            } else {
+                ctx.verdict(NfVerdict::Drop);
+            }
+        });
+        let concrete = count_ic_ma(&rec.events);
+        // Find the matching symbolic path by the concrete branch outcomes.
+        let is_v4 = ether_type == h::ETHERTYPE_IPV4;
+        let is_dead = ttl <= 1;
+        let matching = result.paths.iter().find(|p| {
+            if !is_v4 {
+                p.verdict == Some(NfVerdict::Drop) && p.decisions.first() == Some(&false)
+            } else if is_dead {
+                p.decisions == vec![true, true]
+            } else {
+                p.verdict == Some(NfVerdict::Forward(1))
+            }
+        });
+        let p = matching.expect("a path must match every input");
+        prop_assert_eq!(count_ic_ma(&p.events), concrete);
+        // Verdict agreement too.
+        prop_assert_eq!(p.verdict, Some(verdict));
+    }
+}
