@@ -2,10 +2,10 @@
 //! (not part of the paper's evaluation — this measures the *reproduction's*
 //! own data-structure performance, useful when hacking on `nf-lib`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx};
 use bolt_trace::{AddressSpace, NullTracer};
-use bolt_expr::Width;
+use criterion::{criterion_group, criterion_main, Criterion};
 use nf_lib::flow_table::{self, FlowTable, FlowTableOps, FlowTableParams};
 use nf_lib::lpm_dir24_8::{self, Dir24_8, Dir24_8Ops};
 use nf_lib::maglev::{self, MaglevRing, MaglevRingOps};
@@ -26,7 +26,11 @@ fn bench_flow_table(c: &mut Criterion) {
     let mut ctx = ConcreteCtx::new(&mut t);
     let now = ctx.lit(0, Width::W64);
     for i in 0..2048u64 {
-        let k = [ctx.lit(i, Width::W64), ctx.lit(1, Width::W64), ctx.lit(2, Width::W64)];
+        let k = [
+            ctx.lit(i, Width::W64),
+            ctx.lit(1, Width::W64),
+            ctx.lit(2, Width::W64),
+        ];
         let v = ctx.lit(i, Width::W64);
         assert!(FlowTableOps::<_, 3>::put(&mut table, &mut ctx, &k, v, now));
     }

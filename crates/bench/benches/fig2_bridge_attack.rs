@@ -5,55 +5,54 @@
 //! rehash threshold where legitimate traffic never trips it.
 
 use bolt_bench::table_fmt::print_table;
-use bolt_core::{generate, ClassSpec, InputClass};
+use bolt_core::nf::{Bolt, NetworkFunction};
+use bolt_core::{ClassSpec, InputClass};
 use bolt_distiller::NfRunner;
 use bolt_expr::PcvAssignment;
-use bolt_nfs::bridge;
-use bolt_solver::Solver;
+use bolt_nfs::bridge::{Bridge, BridgeConfig};
 use bolt_trace::{AddressSpace, Metric};
 use bolt_workloads::generators::bridge_traffic;
 use dpdk_sim::StackLevel;
 use nf_lib::clock::Granularity;
 
 fn main() {
-    let cfg = bridge::BridgeConfig {
+    let nf = Bridge::with(BridgeConfig {
         capacity: 1024,
         ttl_ns: u64::MAX / 2,
         rehash_threshold: 64, // analysis first, threshold later
-    };
-    let (reg, ids, exploration) = bridge::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    });
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
+    let ids = contract.ids;
 
     // Uniform random workload at ~35% occupancy — the regime where the
     // paper's operator found fewer than 0.2% of packets beyond 6
     // traversals.
     let mut aspace = AddressSpace::new();
-    let mut b = bridge::Bridge::new(ids, &cfg, &mut aspace);
+    let mut state = nf.state(ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     let pkts = bridge_traffic(51, 20_000, 360, false, 1_000);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut state, &pkts);
 
     let ccdf = runner.distiller.ccdf(ids.table.store.t);
-    let solver = Solver::default();
     let class = InputClass::new(
         "unknown source, no rehash",
-        ClassSpec::all([ClassSpec::Tag("src:unknown"), ClassSpec::NotTag("src:rehash")]),
+        ClassSpec::all([
+            ClassSpec::Tag("src:unknown"),
+            ClassSpec::NotTag("src:rehash"),
+        ]),
     );
     let mut rows = Vec::new();
     for t in 0..=8u64 {
         let ccdf_at = ccdf
             .iter()
-            .filter(|&&(v, _)| v <= t)
-            .last()
+            .rfind(|&&(v, _)| v <= t)
             .map(|&(_, f)| f)
             .unwrap_or(1.0);
         let mut env = PcvAssignment::new();
-        env.set(ids.table.store.t, t).set(ids.table.store.c, t.min(2));
+        env.set(ids.table.store.t, t)
+            .set(ids.table.store.c, t.min(2));
         let pred = contract
-            .query(&solver, &class, Metric::Instructions, &env)
+            .query(&class, Metric::Instructions, &env)
             .unwrap()
             .value;
         rows.push(vec![
@@ -77,7 +76,6 @@ fn main() {
     let env = PcvAssignment::new();
     let rehash_cost = contract
         .query(
-            &solver,
             &InputClass::new("rehash", ClassSpec::Tag("src:rehash")),
             Metric::Instructions,
             &env,

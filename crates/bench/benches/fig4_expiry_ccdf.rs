@@ -52,15 +52,18 @@ fn main() {
         .collect();
     print_table(
         "Figure 4 — per-packet latency (testbed cycles): second vs millisecond timestamps",
-        &["quantile", "second granularity (original)", "ms granularity (fixed)"],
+        &[
+            "quantile",
+            "second granularity (original)",
+            "ms granularity (fixed)",
+        ],
         &rows,
     );
     // CCDF tail fractions above a threshold between typical and batch cost.
     let tail = |samples: &[f64], thr: f64| {
         ccdf_samples(samples)
             .iter()
-            .filter(|&&(v, _)| v <= thr)
-            .last()
+            .rfind(|&&(v, _)| v <= thr)
             .map(|&(_, f)| f)
             .unwrap_or(1.0)
     };

@@ -7,11 +7,12 @@
 //! ≈10%).
 
 use bolt_bench::table_fmt::print_table;
-use bolt_core::{generate, ClassSpec, InputClass};
+use bolt_core::nf::{Bolt, NetworkFunction};
+use bolt_core::{ClassSpec, InputClass};
 use bolt_distiller::{percentile, NfRunner};
 use bolt_nfs::nat;
+use bolt_nfs::nat::Nat;
 use bolt_see::NfVerdict;
-use bolt_solver::Solver;
 use bolt_trace::{AddressSpace, Metric};
 use bolt_workloads::TimedPacket;
 use dpdk_sim::headers as h;
@@ -113,51 +114,35 @@ fn high_churn() -> Scenario {
 /// Run one (scenario, allocator) cell; returns (predicted new-flow
 /// cycles, measured new-flow cycle samples).
 fn run(scenario: &Scenario, kind: nat::AllocKind) -> (u64, Vec<f64>) {
-    let cfg = nat::NatConfig {
-        capacity: CAP,
-        ttl_ns: scenario.ttl_ns,
-        n_ports: CAP,
-        ..Default::default()
-    };
-    let (reg, ids, exploration) = nat::explore(&cfg, kind, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    // The §5.3 swap is one field in the descriptor; both variants stay
+    // alive behind the same `NatState`.
+    let nf = Nat::with(
+        nat::NatConfig {
+            capacity: CAP,
+            ttl_ns: scenario.ttl_ns,
+            n_ports: CAP,
+            ..Default::default()
+        },
+        kind,
+    );
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
     let mut aspace = AddressSpace::new();
+    let mut state = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
 
     let mut pkts = scenario.prep.clone();
     let prep_count = pkts.len();
     pkts.extend(scenario.measured.iter().cloned());
 
-    // The §5.3 swap is one line in application code; both variants stay
-    // alive here.
-    match kind {
-        nat::AllocKind::A => {
-            let mut table = nat::NatTable::new_a(ids, &cfg, &mut aspace);
-            runner.play(&pkts, |ctx, mbuf, clock| {
-                let now = clock.now(ctx);
-                nat::process(ctx, &mut table, &cfg, now, mbuf);
-            });
-        }
-        nat::AllocKind::B => {
-            let mut table = nat::NatTable::new_b(ids, &cfg, &mut aspace);
-            runner.play(&pkts, |ctx, mbuf, clock| {
-                let now = clock.now(ctx);
-                nat::process(ctx, &mut table, &cfg, now, mbuf);
-            });
-        }
-    }
+    runner.play_nf(&nf, &mut state, &pkts);
     let samples: Vec<f64> = runner.samples[prep_count..]
         .iter()
         .filter(|s| matches!(s.verdict, NfVerdict::Forward(_)))
         .map(|s| s.cycles)
         .collect();
     let env = runner.distiller.worst_assignment_from(prep_count as u64);
-    let solver = Solver::default();
     let class = InputClass::new("new internal flows", ClassSpec::Tag("int:new"));
-    let predicted = contract
-        .query(&solver, &class, Metric::Cycles, &env)
-        .unwrap()
-        .value;
+    let predicted = contract.query(&class, Metric::Cycles, &env).unwrap().value;
     (predicted, samples)
 }
 
@@ -165,7 +150,10 @@ fn main() {
     let mut fig5_rows = Vec::new();
     let mut cdfs: Vec<(&str, &str, Vec<f64>)> = Vec::new();
     for scenario in [&low_churn(), &high_churn()] {
-        for (kind, label) in [(nat::AllocKind::A, "Allocator A"), (nat::AllocKind::B, "Allocator B")] {
+        for (kind, label) in [
+            (nat::AllocKind::A, "Allocator A"),
+            (nat::AllocKind::B, "Allocator B"),
+        ] {
             let (pred, samples) = run(scenario, kind);
             fig5_rows.push(vec![
                 scenario.name.to_string(),
@@ -182,8 +170,16 @@ fn main() {
         &fig5_rows,
     );
 
-    for (title, which) in [("Figure 6 — measured latency CDF, LOW churn (paper: A ~33% faster)", "Low Churn"),
-                           ("Figure 7 — measured latency CDF, HIGH churn (paper: B ~10% faster)", "High Churn")] {
+    for (title, which) in [
+        (
+            "Figure 6 — measured latency CDF, LOW churn (paper: A ~33% faster)",
+            "Low Churn",
+        ),
+        (
+            "Figure 7 — measured latency CDF, HIGH churn (paper: B ~10% faster)",
+            "High Churn",
+        ),
+    ] {
         let rows: Vec<Vec<String>> = [0.25, 0.5, 0.75, 0.9, 0.99]
             .iter()
             .map(|&q| {
@@ -201,25 +197,23 @@ fn main() {
 
     // The paper's trade-off, in predicted and measured form.
     let pred = |s: &str, a: &str| -> f64 {
-        fig5_rows
-            .iter()
-            .find(|r| r[0] == s && r[1] == a)
-            .unwrap()[2]
+        fig5_rows.iter().find(|r| r[0] == s && r[1] == a).unwrap()[2]
             .parse()
             .unwrap()
     };
     let med = |s: &str, a: &str| -> f64 {
-        fig5_rows
-            .iter()
-            .find(|r| r[0] == s && r[1] == a)
-            .unwrap()[3]
+        fig5_rows.iter().find(|r| r[0] == s && r[1] == a).unwrap()[3]
             .parse()
             .unwrap()
     };
-    let low_pred_gap = (pred("Low Churn", "Allocator B") / pred("Low Churn", "Allocator A") - 1.0) * 100.0;
-    let high_pred_gap = (pred("High Churn", "Allocator A") / pred("High Churn", "Allocator B") - 1.0) * 100.0;
-    let low_meas_gap = (med("Low Churn", "Allocator B") / med("Low Churn", "Allocator A") - 1.0) * 100.0;
-    let high_meas_gap = (med("High Churn", "Allocator A") / med("High Churn", "Allocator B") - 1.0) * 100.0;
+    let low_pred_gap =
+        (pred("Low Churn", "Allocator B") / pred("Low Churn", "Allocator A") - 1.0) * 100.0;
+    let high_pred_gap =
+        (pred("High Churn", "Allocator A") / pred("High Churn", "Allocator B") - 1.0) * 100.0;
+    let low_meas_gap =
+        (med("Low Churn", "Allocator B") / med("Low Churn", "Allocator A") - 1.0) * 100.0;
+    let high_meas_gap =
+        (med("High Churn", "Allocator A") / med("High Churn", "Allocator B") - 1.0) * 100.0;
     println!("\nlow churn:  B costs {low_pred_gap:+.0}% predicted, {low_meas_gap:+.0}% measured (paper: +30% predicted, +33% measured)");
     println!("high churn: A costs {high_pred_gap:+.0}% predicted, {high_meas_gap:+.0}% measured (paper: +8% predicted, +10% measured)");
     assert!(low_pred_gap > 3.0, "A must win low churn in prediction");

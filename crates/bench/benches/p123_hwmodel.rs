@@ -51,7 +51,8 @@ fn run(f: fn(&mut dyn Tracer)) -> (u64, u64) {
 }
 
 fn main() {
-    let progs: [(&str, fn(&mut dyn Tracer), &str); 3] = [
+    type Prog = fn(&mut dyn Tracer);
+    let progs: [(&str, Prog, &str); 3] = [
         ("P1", p1, "non-contiguous linked list (paper: within 5%)"),
         ("P2", p2, "contiguous linked list (paper: ~6x)"),
         ("P3", p3, "array (paper: ~9x)"),
@@ -71,10 +72,20 @@ fn main() {
     }
     print_table(
         "P1/P2/P3 — conservative prediction vs simulated-testbed measurement",
-        &["program", "predicted cycles", "measured cycles", "ratio", "paper"],
+        &[
+            "program",
+            "predicted cycles",
+            "measured cycles",
+            "ratio",
+            "paper",
+        ],
         &rows,
     );
-    assert!(ratios[0] < 1.6, "P1 must be predicted closely, got {:.2}", ratios[0]);
+    assert!(
+        ratios[0] < 1.6,
+        "P1 must be predicted closely, got {:.2}",
+        ratios[0]
+    );
     assert!(
         ratios[1] > 2.0 && ratios[1] > ratios[0] * 1.5,
         "P2 must show the prefetching gap, got {:.2}",

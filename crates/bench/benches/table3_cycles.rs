@@ -25,7 +25,13 @@ fn main() {
     }
     print_table(
         "Table 3 — execution-cycle contracts (paper ratios: 1.46-4.08x typical, ~9x pathological)",
-        &["NF+class", "predicted bound", "measured cycles", "ratio", "packet class"],
+        &[
+            "NF+class",
+            "predicted bound",
+            "measured cycles",
+            "ratio",
+            "packet class",
+        ],
         &rows,
     );
     for s in &scenarios {

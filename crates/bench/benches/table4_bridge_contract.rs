@@ -15,7 +15,10 @@ fn main() {
     let cfg = bridge::BridgeConfig::default();
     let ids = bridge::register(&mut reg, &cfg);
     for (title, method) in [
-        ("Table 4 — bridge `learn` contract (paper rows: known / unknown / unknown+rehash)", M_MT_LEARN),
+        (
+            "Table 4 — bridge `learn` contract (paper rows: known / unknown / unknown+rehash)",
+            M_MT_LEARN,
+        ),
         ("bridge `lookup` contract", M_MT_LOOKUP),
         ("bridge `expire` contract", M_MT_EXPIRE),
     ] {
@@ -25,7 +28,11 @@ fn main() {
             .zip(reg.render_method(ids.table.ds, method, Metric::MemAccesses))
             .map(|((name, ic), (_, ma))| vec![name, ic, ma])
             .collect();
-        print_table(title, &["Traffic type", "Instructions", "Memory accesses"], &rows);
+        print_table(
+            title,
+            &["Traffic type", "Instructions", "Memory accesses"],
+            &rows,
+        );
     }
     // The paper's cliff: the rehash row's constant dwarfs the others.
     let rows = reg.render_method(ids.table.ds, M_MT_LEARN, Metric::Instructions);

@@ -5,10 +5,10 @@
 //! The measured bars replay mixed traffic through the concrete chain.
 
 use bolt_bench::table_fmt::{human, print_table};
-use bolt_core::{compose, generate, naive_add, ClassSpec, InputClass};
+use bolt_core::{compose, naive_add, ClassSpec, InputClass, Pipeline};
 use bolt_distiller::NfRunner;
 use bolt_expr::PcvAssignment;
-use bolt_nfs::{firewall, static_router};
+use bolt_nfs::{firewall, static_router, Firewall, StaticRouter};
 use bolt_see::NfVerdict;
 use bolt_solver::Solver;
 use bolt_trace::{AddressSpace, Metric};
@@ -17,14 +17,16 @@ use dpdk_sim::StackLevel;
 use nf_lib::clock::Granularity;
 
 fn main() {
-    // --- contracts ---
-    let fw_cfg = firewall::FirewallConfig::default();
-    let (_, fw_exp) = firewall::explore(&fw_cfg, StackLevel::FullStack);
-    let (_, rt_exp) = static_router::explore(StackLevel::FullStack);
-    let reg = nf_lib::registry::DsRegistry::new();
-    let mut fw = generate(&reg, fw_exp);
-    let mut rt = generate(&reg, rt_exp);
+    // --- contracts, via the Pipeline abstraction (stages explored once,
+    // reused for the per-NF tables, the composition, and naive-add) ---
+    let chain_nf = Pipeline::new()
+        .push(Firewall::default())
+        .push(StaticRouter::default());
+    let mut stage_contracts = chain_nf.contracts(StackLevel::FullStack);
+    let mut rt = stage_contracts.pop().unwrap();
+    let mut fw = stage_contracts.pop().unwrap();
     let solver = Solver::default();
+    let mut chain = compose(&fw, &rt, &solver);
     let env = PcvAssignment::new();
 
     let classes = [
@@ -44,7 +46,6 @@ fn main() {
     };
     render(&mut fw, "Table 5a — firewall (paper: 477 / 298)");
     render(&mut rt, "Table 5b — static router (paper: 603 / 79·n+646)");
-    let mut chain = compose(&fw, &rt, &solver);
     render(
         &mut chain,
         "Table 5c — firewall→router chain (paper: 1053 / 298 — options masked)",
@@ -54,18 +55,29 @@ fn main() {
     let naive_ic = naive_add(&fw, &rt, Metric::Instructions, &env);
     let naive_ma = naive_add(&fw, &rt, Metric::MemAccesses, &env);
     let comp_ic = chain
-        .query(&solver, &InputClass::unconstrained(), Metric::Instructions, &env)
+        .query(
+            &solver,
+            &InputClass::unconstrained(),
+            Metric::Instructions,
+            &env,
+        )
         .unwrap()
         .value;
     let comp_ma = chain
-        .query(&solver, &InputClass::unconstrained(), Metric::MemAccesses, &env)
+        .query(
+            &solver,
+            &InputClass::unconstrained(),
+            Metric::MemAccesses,
+            &env,
+        )
         .unwrap()
         .value;
 
     // Measured: play mixed traffic through the concrete chain.
     let mut aspace = AddressSpace::new();
-    let router = static_router::StaticRouter::new(&mut aspace);
+    let router = static_router::StaticRouterState::new(&mut aspace);
     let rt_cfg = static_router::StaticRouterConfig::default();
+    let fw_cfg = firewall::FirewallConfig::default();
     let mut fw_runner = NfRunner::new(StackLevel::FullStack, Granularity::Nanoseconds);
     let mut rt_runner = NfRunner::new(StackLevel::FullStack, Granularity::Nanoseconds);
     let pkts = merge(vec![

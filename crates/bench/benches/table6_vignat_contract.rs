@@ -5,34 +5,42 @@
 //! batched flow expiry.
 
 use bolt_bench::table_fmt::print_table;
-use bolt_core::{generate, ClassSpec, InputClass};
+use bolt_core::nf::Bolt;
+use bolt_core::{ClassSpec, InputClass};
 use bolt_expr::{Monomial, PcvAssignment};
-use bolt_nfs::nat;
-use bolt_solver::Solver;
+use bolt_nfs::nat::Nat;
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
 fn main() {
-    let cfg = nat::NatConfig::default();
-    let (reg, ids, exploration) = nat::explore(&cfg, nat::AllocKind::A, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
-    let solver = Solver::default();
+    let mut contract = Bolt::nf(Nat::default())
+        .explore(StackLevel::FullStack)
+        .contract();
+    let ids = contract.ids;
     let classes = [
         InputClass::new("Invalid packets (dropped)", ClassSpec::Tag("invalid")),
         InputClass::new("Known flows (forwarded)", ClassSpec::Tag("int:known")),
         InputClass::new("New external flows (dropped)", ClassSpec::Tag("ext:new")),
-        InputClass::new("New internal flows; table full (dropped)", ClassSpec::Tag("int:full")),
-        InputClass::new("New internal flows; ports exhausted (dropped)", ClassSpec::Tag("int:exhausted")),
-        InputClass::new("New internal flows; table not full (forwarded)", ClassSpec::Tag("int:new")),
+        InputClass::new(
+            "New internal flows; table full (dropped)",
+            ClassSpec::Tag("int:full"),
+        ),
+        InputClass::new(
+            "New internal flows; ports exhausted (dropped)",
+            ClassSpec::Tag("int:exhausted"),
+        ),
+        InputClass::new(
+            "New internal flows; table not full (forwarded)",
+            ClassSpec::Tag("int:new"),
+        ),
     ];
     let env = PcvAssignment::new();
     let rows: Vec<Vec<String>> = classes
         .iter()
         .map(|c| {
-            let q = contract
-                .query(&solver, c, Metric::Instructions, &env)
-                .unwrap();
-            vec![c.name.clone(), format!("{}", q.expr.display(&reg.pcvs))]
+            let q = contract.query(c, Metric::Instructions, &env).unwrap();
+            let rendered = contract.display_expr(&q.expr);
+            vec![c.name.clone(), rendered]
         })
         .collect();
     print_table(
@@ -42,7 +50,7 @@ fn main() {
     );
     // §5.3's observation: the expired-flows term dominates.
     let known = contract
-        .query(&solver, &classes[1], Metric::Instructions, &env)
+        .query(&classes[1], Metric::Instructions, &env)
         .unwrap()
         .expr;
     let e_coeff = known.coeff(&Monomial::var(ids.ft.e));

@@ -39,23 +39,35 @@ fn run(granularity: Granularity) -> (NfRunner, nat::NatIds) {
 
 fn main() {
     let (coarse, ids) = run(Granularity::Seconds);
-    println!("\n=== Table 7 — Distiller: expired flows per packet, SECOND-granularity timestamps ===");
+    println!(
+        "\n=== Table 7 — Distiller: expired flows per packet, SECOND-granularity timestamps ==="
+    );
     println!("(paper: 98.5% zero, a 0.93% spike at 64 — batching)\n");
     print!(
         "{}",
-        coarse
-            .distiller
-            .report(&{
+        coarse.distiller.report(
+            &{
                 let mut reg = DsRegistry::new();
                 let cfg = nat::NatConfig::default();
                 let _ = nat::register(&mut reg, &cfg, nat::AllocKind::A);
                 reg.pcvs
-            }, ids.ft.e, 66)
+            },
+            ids.ft.e,
+            66
+        )
     );
     let pdf = coarse.distiller.pdf(ids.ft.e);
-    let zero_frac = pdf.iter().find(|(v, _)| *v == 0).map(|(_, f)| *f).unwrap_or(0.0);
+    let zero_frac = pdf
+        .iter()
+        .find(|(v, _)| *v == 0)
+        .map(|(_, f)| *f)
+        .unwrap_or(0.0);
     let batch_frac: f64 = pdf.iter().filter(|(v, _)| *v >= 16).map(|(_, f)| f).sum();
-    println!("\nzero-expiry packets: {:.2}% | batch (e >= 16) packets: {:.3}%", zero_frac * 100.0, batch_frac * 100.0);
+    println!(
+        "\nzero-expiry packets: {:.2}% | batch (e >= 16) packets: {:.3}%",
+        zero_frac * 100.0,
+        batch_frac * 100.0
+    );
     assert!(zero_frac > 0.9, "batching must make expiry rare-but-bursty");
     assert!(batch_frac > 0.001, "bursts must exist");
 
@@ -64,12 +76,16 @@ fn main() {
     println!("(paper: 16.1% zero, 83.6% one, tail gone)\n");
     print!(
         "{}",
-        fine.distiller.report(&{
-            let mut reg = DsRegistry::new();
-            let cfg = nat::NatConfig::default();
-            let _ = nat::register(&mut reg, &cfg, nat::AllocKind::A);
-            reg.pcvs
-        }, ids.ft.e, 4)
+        fine.distiller.report(
+            &{
+                let mut reg = DsRegistry::new();
+                let cfg = nat::NatConfig::default();
+                let _ = nat::register(&mut reg, &cfg, nat::AllocKind::A);
+                reg.pcvs
+            },
+            ids.ft.e,
+            4
+        )
     );
     let max_batch = fine.distiller.worst(ids.ft.e);
     println!("\nworst per-packet expiry batch after the fix: {max_batch}");

@@ -37,7 +37,10 @@ pub fn overestimate_pct(pred: u64, measured: u64) -> String {
     if measured == 0 {
         return "-".to_string();
     }
-    format!("{:+.2}%", (pred as f64 - measured as f64) / measured as f64 * 100.0)
+    format!(
+        "{:+.2}%",
+        (pred as f64 - measured as f64) / measured as f64 * 100.0
+    )
 }
 
 /// Thousands-separated integer.
@@ -45,7 +48,7 @@ pub fn human(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

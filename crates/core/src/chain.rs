@@ -20,8 +20,10 @@ use bolt_see::symbolic::PacketField;
 use bolt_see::NfVerdict;
 use bolt_solver::Solver;
 use bolt_trace::Metric;
+use dpdk_sim::StackLevel;
 
 use crate::contract::{NfContract, PathContract};
+use crate::nf::AbstractNf;
 
 /// Rebuild a [`PacketField`] around a migrated symbol term.
 fn field_of(pool: &TermPool, offset: u64, bytes: u8, term: TermRef) -> Option<PacketField> {
@@ -151,11 +153,7 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
         for pb in &second.paths {
             let mut mig_b = Migrator::new(&second.pool, "nf2");
             let mut cs = ca.clone();
-            cs.extend(
-                pb.constraints
-                    .iter()
-                    .map(|&t| mig_b.migrate(&mut pool, t)),
-            );
+            cs.extend(pb.constraints.iter().map(|&t| mig_b.migrate(&mut pool, t)));
             // Link: the downstream NF's input fields equal the upstream
             // NF's output (written value if any, else the pass-through
             // input symbol).
@@ -232,6 +230,103 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
     NfContract { pool, paths }
 }
 
+/// A chain of heterogeneous network functions, composed pairwise (§3.4).
+///
+/// Stages are [`AbstractNf`] trait objects, so any mix of
+/// [`crate::nf::NetworkFunction`] implementors chains without generics
+/// leaking into the caller:
+///
+/// ```ignore
+/// let chain = Pipeline::new()
+///     .push(Firewall::default())
+///     .push(StaticRouter::default());
+/// let contract = chain.contract(StackLevel::NfOnly).unwrap();
+/// ```
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn AbstractNf>>,
+}
+
+impl Pipeline {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Pipeline { stages: Vec::new() }
+    }
+
+    /// Append a network function to the downstream end.
+    pub fn push(mut self, nf: impl AbstractNf + 'static) -> Self {
+        self.stages.push(Box::new(nf));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage names, upstream first.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Each stage's individual contract, upstream first (every stage is
+    /// explored at `level`).
+    pub fn contracts(&self, level: StackLevel) -> Vec<NfContract> {
+        self.stages
+            .iter()
+            .map(|s| s.explore_contract(level))
+            .collect()
+    }
+
+    /// The composed contract of the whole chain: stage contracts are
+    /// [`compose`]d pairwise left to right, discarding solver-infeasible
+    /// path pairs (which is what masks downstream slow paths the upstream
+    /// NFs filter out). `None` for an empty chain.
+    pub fn contract(&self, level: StackLevel) -> Option<NfContract> {
+        Self::compose_all(self.contracts(level))
+    }
+
+    /// Compose pre-built stage contracts left to right.
+    pub fn compose_all(contracts: Vec<NfContract>) -> Option<NfContract> {
+        let solver = Solver::default();
+        let mut it = contracts.into_iter();
+        let mut acc = it.next()?;
+        for next in it {
+            acc = compose(&acc, &next, &solver);
+        }
+        Some(acc)
+    }
+
+    /// The naive prediction: the sum over stages of each stage's
+    /// individual worst case (Figure 3's "Naive-Add" bar, generalised to
+    /// any length). Re-explores every stage; callers that already hold
+    /// the stage contracts should use [`Pipeline::naive_add_of`].
+    pub fn naive_add(&self, level: StackLevel, metric: Metric, env: &PcvAssignment) -> u64 {
+        Self::naive_add_of(&self.contracts(level), metric, env)
+    }
+
+    /// Naive addition over pre-built stage contracts (no re-exploration —
+    /// pair with [`Pipeline::contracts`] + [`Pipeline::compose_all`] when
+    /// both the composed contract and the baseline are needed).
+    pub fn naive_add_of(contracts: &[NfContract], metric: Metric, env: &PcvAssignment) -> u64 {
+        contracts
+            .iter()
+            .map(|c| {
+                c.paths
+                    .iter()
+                    .map(|p| p.expr(metric).eval(env))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
 /// The naive prediction for a chain: the sum of each NF's individual
 /// worst case (Figure 3's "Naive-Add" bar).
 pub fn naive_add(
@@ -253,148 +348,4 @@ pub fn naive_add(
         .max()
         .unwrap_or(0);
     a + b
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use bolt_nfs::{firewall, static_router};
-    use dpdk_sim::StackLevel;
-
-    fn chain() -> (NfContract, NfContract, NfContract) {
-        let (_, fw_exp) = firewall::explore(&firewall::FirewallConfig::default(), StackLevel::NfOnly);
-        let (_, rt_exp) = static_router::explore(StackLevel::NfOnly);
-        let reg = nf_lib::registry::DsRegistry::new();
-        let fw = crate::generate(&reg, fw_exp);
-        let rt = crate::generate(&reg, rt_exp);
-        let solver = Solver::default();
-        let composed = compose(&fw, &rt, &solver);
-        (fw, rt, composed)
-    }
-
-    #[test]
-    fn firewall_masks_router_option_paths() {
-        let (_, rt, composed) = chain();
-        // The router alone has expensive option paths…
-        let env = PcvAssignment::new();
-        let rt_worst = rt
-            .paths
-            .iter()
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        // …but no composed path pairs a forwarded firewall packet with a
-        // router option path: packets with options died at the firewall.
-        for p in &composed.paths {
-            assert!(
-                !(p.has_tag("no-options") && p.has_tag("ip-options")),
-                "firewall-accepted traffic must not reach router option paths"
-            );
-        }
-        let composed_worst = composed
-            .paths
-            .iter()
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        let naive = naive_add(
-            &chain().0,
-            &rt,
-            Metric::Instructions,
-            &env,
-        );
-        assert!(
-            composed_worst < naive,
-            "composition must beat naive addition: {composed_worst} vs {naive}"
-        );
-        let _ = rt_worst;
-    }
-
-    #[test]
-    fn dropped_upstream_paths_stand_alone() {
-        let (fw, _, composed) = chain();
-        // Firewall option-drop path appears in the chain unpaired, with
-        // the firewall-only cost.
-        let env = PcvAssignment::new();
-        let fw_drop = fw
-            .tagged("ip-options")
-            .next()
-            .unwrap()
-            .expr(Metric::Instructions)
-            .eval(&env);
-        let chain_drop = composed
-            .tagged("ip-options")
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        assert_eq!(fw_drop, chain_drop, "drop path cost is firewall-only");
-    }
-
-    #[test]
-    fn longer_chains_compose_pairwise() {
-        // §3.4: longer chains are pieced together one NF at a time. A
-        // firewall → router → router chain composes associatively enough
-        // for provisioning: the three-NF contract still masks the option
-        // paths and still beats naive addition.
-        let (fw, rt, fw_rt) = chain();
-        let solver = Solver::default();
-        let three = compose(&fw_rt, &rt, &solver);
-        let env = PcvAssignment::new();
-        assert!(!three.paths.is_empty());
-        for p in &three.paths {
-            assert!(
-                !(p.has_tag("no-options") && p.has_tag("ip-options")),
-                "masking must survive a second composition"
-            );
-        }
-        let worst3 = three
-            .paths
-            .iter()
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        let naive3 = naive_add(&fw_rt, &rt, Metric::Instructions, &env)
-            .max(naive_add(&fw, &rt, Metric::Instructions, &env));
-        assert!(worst3 < naive3 + naive_add(&fw, &rt, Metric::Instructions, &env));
-        // The three-NF worst case is the two-NF worst case plus one more
-        // clean router pass.
-        let worst2 = fw_rt
-            .paths
-            .iter()
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        let rt_clean = rt
-            .tagged("no-options")
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .max()
-            .unwrap();
-        assert_eq!(worst3, worst2 + rt_clean);
-    }
-
-    #[test]
-    fn composed_pairs_sum_costs() {
-        let (fw, rt, composed) = chain();
-        let env = PcvAssignment::new();
-        // Any composed forwarding path costs at least the cheapest
-        // upstream forward plus the cheapest downstream path.
-        let fw_min = fw
-            .paths
-            .iter()
-            .filter(|p| matches!(p.verdict, Some(NfVerdict::Forward(_))))
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .min()
-            .unwrap();
-        let rt_min = rt
-            .paths
-            .iter()
-            .map(|p| p.expr(Metric::Instructions).eval(&env))
-            .min()
-            .unwrap();
-        for p in &composed.paths {
-            if matches!(p.verdict, Some(NfVerdict::Forward(_))) {
-                assert!(p.expr(Metric::Instructions).eval(&env) >= fw_min + rt_min);
-            }
-        }
-    }
 }

@@ -37,7 +37,7 @@ impl PathContract {
 
     /// Whether the path carries a tag.
     pub fn has_tag(&self, tag: &str) -> bool {
-        self.tags.iter().any(|t| *t == tag)
+        self.tags.contains(&tag)
     }
 }
 

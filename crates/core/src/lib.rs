@@ -20,11 +20,20 @@
 //! conjoining their constraints with equality links between the upstream
 //! NF's output packet expressions and the downstream NF's input symbols,
 //! and keeping only solver-feasible pairs.
+//!
+//! [`nf`] is the unified NF abstraction: the [`NetworkFunction`] trait
+//! gives every NF the explore→generate→query pipeline for free, the
+//! fluent [`Bolt`] entrypoint chains it
+//! (`Bolt::nf(...).explore(level).contract().query(...)`), and
+//! [`Pipeline`] composes heterogeneous NFs into chain contracts via
+//! trait objects.
 
 pub mod chain;
 pub mod classes;
 pub mod contract;
+pub mod nf;
 
-pub use chain::{compose, naive_add};
+pub use chain::{compose, naive_add, Pipeline};
 pub use classes::{ClassSpec, InputClass};
 pub use contract::{generate, NfContract, PathContract, QueryResult};
+pub use nf::{AbstractNf, Bolt, Contract, Exploration, NetworkFunction};

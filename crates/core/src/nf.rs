@@ -1,0 +1,285 @@
+//! The unified network-function abstraction.
+//!
+//! The paper promises one workflow for *any* NF: symbolically execute the
+//! analysis build against data-structure models, generate a contract
+//! (Algorithm 2), then query it per input class. [`NetworkFunction`]
+//! captures the pieces an NF must supply — registration of its stateful
+//! parts, concrete state construction, and the packet-processing body in
+//! both execution modes — and provides the whole pipeline on top:
+//! [`NetworkFunction::explore`] and [`Exploration::contract`] are blanket
+//! implementations, so every NF gets Algorithm 2 for free.
+//!
+//! The fluent entrypoint reads the way the paper describes the workflow:
+//!
+//! ```ignore
+//! let mut contract = Bolt::nf(Bridge::default())
+//!     .explore(StackLevel::FullStack)
+//!     .contract();
+//! let q = contract.query(&broadcast_frames, Metric::Instructions, &env);
+//! ```
+//!
+//! Chains (§3.4) compose over the same abstraction: [`crate::chain::Pipeline`]
+//! takes heterogeneous NFs as trait objects and pairwise-composes their
+//! contracts.
+//!
+//! On the concrete path, [`NetworkFunction::process_batch`] processes a
+//! burst of mbufs per call (DPDK-style `rte_rx_burst` loops). The default
+//! implementation loops over [`NetworkFunction::process`]; NFs can
+//! override it to amortise per-burst work (prefetching, batched expiry) —
+//! the hook for future batching speedups.
+
+use bolt_expr::{PcvAssignment, PerfExpr};
+use bolt_see::{ConcreteCtx, ExplorationResult, Explorer, SymbolicCtx};
+use bolt_solver::Solver;
+use bolt_trace::{AddressSpace, Metric};
+use dpdk_sim::{sym_process_packet, Mbuf, StackLevel};
+use nf_lib::clock::Clock;
+use nf_lib::registry::DsRegistry;
+
+use crate::classes::InputClass;
+use crate::contract::{generate, NfContract, PathContract, QueryResult};
+
+/// A network function: configuration plus the Vigor-style split into
+/// stateful library parts (registered, modelled, contracted) and
+/// stateless packet logic (written once, executed symbolically and
+/// concretely).
+///
+/// Implementors are cheap *descriptors* — configuration bundles like
+/// `Bridge { cfg }` — not the runtime state itself; state is built on
+/// demand by [`NetworkFunction::state`].
+pub trait NetworkFunction {
+    /// Handle to the NF's registered stateful parts (data-structure ids
+    /// and PCVs). `()` for stateless NFs.
+    type Ids: Copy + 'static;
+
+    /// Concrete instrumented state (the production build's data
+    /// structures).
+    type State;
+
+    /// Short name, used for diagnostics and chain composition labels.
+    fn name(&self) -> &'static str;
+
+    /// Register the NF's stateful parts and their method contracts.
+    fn register(&self, reg: &mut DsRegistry) -> Self::Ids;
+
+    /// Build the concrete state bundle for production runs.
+    fn state(&self, ids: Self::Ids, aspace: &mut AddressSpace) -> Self::State;
+
+    /// Process one packet concretely (the production build).
+    fn process(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut Self::State,
+        clock: &Clock,
+        mbuf: Mbuf,
+    );
+
+    /// Process one packet symbolically (the analysis build): instantiate
+    /// the data-structure models for `ids` and run the same stateless
+    /// logic. Called once per explored path.
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: Self::Ids, mbuf: Mbuf);
+
+    /// Symbolic packet length for the analysis build. NFs that walk
+    /// variable-length headers (IP options) need room beyond the 64-byte
+    /// default.
+    fn packet_len(&self) -> u64 {
+        64
+    }
+
+    /// Process a burst of received packets (the DPDK `rx_burst` shape).
+    ///
+    /// The default loops over [`NetworkFunction::process`], emitting one
+    /// verdict per mbuf in order — the invariant overriding
+    /// implementations must preserve. Override to amortise per-burst work
+    /// (prefetch, shared expiry scans, SIMD classification).
+    fn process_batch(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut Self::State,
+        clock: &Clock,
+        mbufs: &mut [Mbuf],
+    ) {
+        for mbuf in mbufs.iter() {
+            self.process(ctx, state, clock, *mbuf);
+        }
+    }
+
+    /// Run the analysis build: enumerate every feasible path of this NF
+    /// at the given stack level (Algorithm 2, lines 2–3). Provided for
+    /// every NF.
+    fn explore(&self, level: StackLevel) -> Exploration<Self::Ids>
+    where
+        Self: Sized,
+    {
+        let mut reg = DsRegistry::new();
+        let ids = self.register(&mut reg);
+        let result = Explorer::new().explore(|ctx| {
+            sym_process_packet(ctx, level, self.packet_len(), |ctx, mbuf| {
+                self.sym_process(ctx, ids, mbuf);
+            });
+        });
+        Exploration {
+            reg,
+            ids,
+            level,
+            result,
+        }
+    }
+
+    /// Explore and generate in one step (`explore(level).contract()`).
+    fn contract(&self, level: StackLevel) -> Contract<Self::Ids>
+    where
+        Self: Sized,
+    {
+        self.explore(level).contract()
+    }
+}
+
+/// Fluent entrypoint: `Bolt::nf(nf).explore(level).contract().query(…)`.
+pub struct Bolt<N> {
+    nf: N,
+}
+
+impl<N: NetworkFunction> Bolt<N> {
+    /// Wrap a network function descriptor.
+    pub fn nf(nf: N) -> Self {
+        Bolt { nf }
+    }
+
+    /// Run the analysis build at a stack level.
+    pub fn explore(self, level: StackLevel) -> Exploration<N::Ids> {
+        self.nf.explore(level)
+    }
+
+    /// The wrapped descriptor.
+    pub fn into_inner(self) -> N {
+        self.nf
+    }
+}
+
+/// Result of an NF's analysis build: the registry (holding the library
+/// contracts and PCV table), the NF's registered-state handle, and the
+/// explored feasible paths.
+pub struct Exploration<I> {
+    /// Registry the NF registered its stateful parts against.
+    pub reg: DsRegistry,
+    /// The NF's registered-state handle.
+    pub ids: I,
+    /// The stack level the analysis ran at.
+    pub level: StackLevel,
+    /// The feasible paths.
+    pub result: ExplorationResult,
+}
+
+impl<I> Exploration<I> {
+    /// Generate the performance contract (Algorithm 2, lines 4–17).
+    pub fn contract(self) -> Contract<I> {
+        let inner = generate(&self.reg, self.result);
+        Contract {
+            reg: self.reg,
+            ids: self.ids,
+            level: self.level,
+            inner,
+            solver: Solver::default(),
+        }
+    }
+}
+
+/// A queryable performance contract bound to the registry it was
+/// generated against (so expressions render with the right PCV names)
+/// and carrying its own solver for class-compatibility checks.
+pub struct Contract<I> {
+    /// Registry holding the library contracts and PCV table.
+    pub reg: DsRegistry,
+    /// The NF's registered-state handle (PCV ids for bindings).
+    pub ids: I,
+    /// The stack level the contract covers.
+    pub level: StackLevel,
+    /// The raw contract.
+    pub inner: NfContract,
+    solver: Solver,
+}
+
+impl<I> Contract<I> {
+    /// Predicted performance of an input class: the worst compatible
+    /// path's expression evaluated at `env` (§5.1).
+    pub fn query(
+        &mut self,
+        class: &InputClass,
+        metric: Metric,
+        env: &PcvAssignment,
+    ) -> Option<QueryResult> {
+        self.inner.query(&self.solver, class, metric, env)
+    }
+
+    /// Indices of the paths compatible with a class.
+    pub fn compatible_paths(&mut self, class: &InputClass) -> Vec<usize> {
+        self.inner.compatible_paths(&self.solver, class)
+    }
+
+    /// The worst path overall for a metric under a binding.
+    pub fn worst(&self, metric: Metric, env: &PcvAssignment) -> Option<&PathContract> {
+        self.inner.worst(metric, env)
+    }
+
+    /// All per-path contracts.
+    pub fn paths(&self) -> &[PathContract] {
+        &self.inner.paths
+    }
+
+    /// Render `class → expression` rows for the paper's contract tables.
+    pub fn rows(
+        &mut self,
+        classes: &[InputClass],
+        metric: Metric,
+        env: &PcvAssignment,
+    ) -> Vec<(String, String)> {
+        let Contract {
+            reg, inner, solver, ..
+        } = self;
+        inner.render_rows(solver, reg, classes, metric, env)
+    }
+
+    /// Render one expression with this contract's PCV names.
+    pub fn display_expr(&self, expr: &PerfExpr) -> String {
+        format!("{}", expr.display(&self.reg.pcvs))
+    }
+
+    /// Synthesize a concrete packet driving the NF down a path.
+    pub fn synthesize_packet(&self, path_index: usize, frame_len: usize) -> Option<(Vec<u8>, u16)> {
+        self.inner
+            .synthesize_packet(&self.solver, path_index, frame_len)
+    }
+
+    /// The solver used for compatibility checks.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Unwrap the raw [`NfContract`] (drops registry and ids).
+    pub fn into_inner(self) -> NfContract {
+        self.inner
+    }
+}
+
+/// Object-safe view of a network function for heterogeneous chains: the
+/// subset of the workflow [`crate::chain::Pipeline`] needs. Blanket-implemented for
+/// every [`NetworkFunction`], so any NF descriptor can be boxed into a
+/// pipeline.
+pub trait AbstractNf {
+    /// The NF's short name.
+    fn name(&self) -> &'static str;
+
+    /// Run the analysis build and generate the raw contract.
+    fn explore_contract(&self, level: StackLevel) -> NfContract;
+}
+
+impl<N: NetworkFunction> AbstractNf for N {
+    fn name(&self) -> &'static str {
+        NetworkFunction::name(self)
+    }
+
+    fn explore_contract(&self, level: StackLevel) -> NfContract {
+        self.explore(level).contract().into_inner()
+    }
+}

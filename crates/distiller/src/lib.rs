@@ -88,7 +88,11 @@ impl Distiller {
 
     /// The worst observed value of a PCV.
     pub fn worst(&self, pcv: PcvId) -> u64 {
-        self.packets.iter().map(|p| p.max.get(pcv)).max().unwrap_or(0)
+        self.packets
+            .iter()
+            .map(|p| p.max.get(pcv))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The pointwise-worst PCV binding over the whole trace — the binding
@@ -124,7 +128,12 @@ impl Distiller {
             }
         }
         if tail > 0 {
-            let _ = writeln!(s, "{:<24} {:.4}", format!("{tail_from}+"), tail as f64 / n * 100.0);
+            let _ = writeln!(
+                s,
+                "{:<24} {:.4}",
+                format!("{tail_from}+"),
+                tail as f64 / n * 100.0
+            );
         }
         s
     }
@@ -134,6 +143,17 @@ impl Tracer for Distiller {
     fn event(&mut self, ev: TraceEvent) {
         match ev {
             TraceEvent::Mark(Marker::PacketStart(seq)) => {
+                // Burst runs emit all PacketStart markers before the NF
+                // body (see `DpdkEnv::process_burst`): close out the
+                // packet in flight instead of silently merging it, so
+                // `packets` stays one observation per packet. Within a
+                // burst, the body's observations land on the burst's
+                // last packet — coarse (and conservative for max-style
+                // queries), exactly the attribution the burst trades
+                // away.
+                if let Some(p) = self.current.take() {
+                    self.packets.push(p);
+                }
                 self.current = Some(PacketObs {
                     seq,
                     ..Default::default()

@@ -89,7 +89,11 @@ impl Mempool {
         assert!(n > 0);
         let meta = aspace.alloc_table(64);
         let buffers: Vec<MemRegion> = (0..n).map(|_| aspace.alloc_table(buf_size)).collect();
-        let by_base = buffers.iter().enumerate().map(|(i, r)| (r.base, i)).collect();
+        let by_base = buffers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.base, i))
+            .collect();
         Mempool {
             free: (0..n).rev().collect(),
             buffers,

@@ -156,10 +156,7 @@ mod tests {
         assert_eq!(f[IPV4_VER_IHL as usize], 0x45);
         assert_eq!(f[IPV4_TTL as usize], 63);
         assert_eq!(f[IPV4_PROTO as usize], IPPROTO_TCP);
-        assert_eq!(
-            u32::from_be_bytes([f[26], f[27], f[28], f[29]]),
-            0xC0A80101
-        );
+        assert_eq!(u32::from_be_bytes([f[26], f[27], f[28], f[29]]), 0xC0A80101);
         assert_eq!(u16::from_be_bytes([f[34], f[35]]), 443);
     }
 

@@ -127,7 +127,11 @@ impl TermPool {
             return self.constant(op.apply(v, w), w);
         }
         // not(not(x)) = x
-        if let Term::Unop { op: UnOp::Not, a: inner } = *self.get(a) {
+        if let Term::Unop {
+            op: UnOp::Not,
+            a: inner,
+        } = *self.get(a)
+        {
             return inner;
         }
         self.intern(Term::Unop { op, a })
@@ -145,15 +149,10 @@ impl TermPool {
     pub fn binop(&mut self, op: BinOp, a: TermRef, b: TermRef) -> TermRef {
         let wa = self.width(a);
         let wb = self.width(b);
-        assert_eq!(
-            wa, wb,
-            "width mismatch in {:?}: {:?} vs {:?}",
-            op, wa, wb
-        );
+        assert_eq!(wa, wb, "width mismatch in {:?}: {:?} vs {:?}", op, wa, wb);
         let out_w = if op.is_comparison() { Width::W1 } else { wa };
-        match (self.as_const(a), self.as_const(b)) {
-            (Some(x), Some(y)) => return self.constant(op.apply(x, y, wa), out_w),
-            _ => {}
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.constant(op.apply(x, y, wa), out_w);
         }
         // Identity / annihilator simplifications.
         let ca = self.as_const(a);
@@ -263,7 +262,13 @@ impl TermPool {
         // Canonicalise commutative operand order so interning catches
         // `a+b` vs `b+a`.
         let (a, b) = match op {
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+            BinOp::Add
+            | BinOp::Mul
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Eq
+            | BinOp::Ne
                 if b < a =>
             {
                 (b, a)

@@ -38,10 +38,16 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
             (inner.clone()).prop_map(|a| Recipe::Un(UnOp::Not, Box::new(a))),
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Recipe::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Recipe::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Recipe::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -80,9 +86,7 @@ fn eval_ref(r: &Recipe, va: u64, vb: u64) -> u64 {
         Recipe::SymB => vb & m,
         Recipe::Const(v) => v & m,
         Recipe::Un(op, x) => op.apply(eval_ref(x, va, vb), Width::W32),
-        Recipe::Bin(op, x, y) => {
-            op.apply(eval_ref(x, va, vb), eval_ref(y, va, vb), Width::W32)
-        }
+        Recipe::Bin(op, x, y) => op.apply(eval_ref(x, va, vb), eval_ref(y, va, vb), Width::W32),
         Recipe::Ite(c, x, y) => {
             if eval_ref(c, va, vb) != 0 {
                 eval_ref(x, va, vb)

@@ -52,8 +52,8 @@ impl CostTable {
         CostTable {
             per_class,
             l1_hit: 4.0,
-            l2_hit: 12.0,  // unused by the conservative model
-            l3_hit: 36.0,  // unused by the conservative model
+            l2_hit: 12.0, // unused by the conservative model
+            l3_hit: 36.0, // unused by the conservative model
             mem_latency: 200.0,
             store_buffer: 1.0,
         }

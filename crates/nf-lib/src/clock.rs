@@ -54,7 +54,10 @@ pub struct Clock {
 impl Clock {
     /// New clock at t=0.
     pub fn new(granularity: Granularity) -> Self {
-        Clock { t_ns: 0, granularity }
+        Clock {
+            t_ns: 0,
+            granularity,
+        }
     }
 
     /// Advance to an absolute time (monotonic).

@@ -1,8 +1,8 @@
 //! Chained-expiry flow table: open-addressing hash map + age list.
 //!
-//! This is the reproduction of Vigor/VigNAT's core stateful pair (hash map
-//! + "double chain" expirator) that the paper's NAT, load balancer, and
-//! bridge all build on:
+//! This is the reproduction of Vigor/VigNAT's core stateful pair (hash
+//! map plus "double chain" expirator) that the paper's NAT, load
+//! balancer, and bridge all build on:
 //!
 //! * **slots** — open addressing with linear probing and tombstones.
 //!   Probing distinguishes the paper's two PCVs: `t` counts probed
@@ -273,7 +273,11 @@ impl<const K: usize> FlowTable<K> {
             t.branch_instr();
             match self.state[idx] {
                 EMPTY => {
-                    break if for_insert { Probe::Free(idx) } else { Probe::Miss };
+                    break if for_insert {
+                        Probe::Free(idx)
+                    } else {
+                        Probe::Miss
+                    };
                 }
                 TOMB => {
                     if for_insert {
@@ -288,11 +292,11 @@ impl<const K: usize> FlowTable<K> {
                     } else {
                         // Key comparison, word by word, early exit.
                         let mut matched = true;
-                        for w in 0..K {
+                        for (w, kw) in key.iter().enumerate() {
                             t.mem_read(self.slot_addr(idx, OFF_KEY + 8 * w as u64), 8);
                             t.alu(1);
                             t.branch_instr();
-                            if self.keys[idx][w] != key[w] {
+                            if self.keys[idx][w] != *kw {
                                 matched = false;
                                 break;
                             }
@@ -856,7 +860,10 @@ fn cal_key<const K: usize>(tag: u64, n: u64) -> [u64; K] {
     k
 }
 
-fn lit_key<const K: usize>(ctx: &mut ConcreteCtx<'_>, k: [u64; K]) -> [bolt_see::concrete::CVal; K] {
+fn lit_key<const K: usize>(
+    ctx: &mut ConcreteCtx<'_>,
+    k: [u64; K],
+) -> [bolt_see::concrete::CVal; K] {
     k.map(|w| ctx.lit(w, Width::W64))
 }
 
@@ -883,11 +890,11 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
         ttl_ns: 1_000,
     };
     let d = 8u64; // slope step
-    // Background entries make every age-list neighbour a distinct,
-    // previously-untouched cache line, so the calibrated cycle costs are
-    // the layout-worst case (mid-list refresh touches prev, next, and the
-    // old tail). Background keys live in far-away buckets (fresh ts, never
-    // probed, never expired).
+                  // Background entries make every age-list neighbour a distinct,
+                  // previously-untouched cache line, so the calibrated cycle costs are
+                  // the layout-worst case (mid-list refresh touches prev, next, and the
+                  // old tail). Background keys live in far-away buckets (fresh ts, never
+                  // probed, never expired).
     let mk = || {
         let mut aspace = AddressSpace::new();
         let mut tb = FlowTable::<K>::new(ids, cal_params, &mut aspace);
@@ -963,7 +970,12 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
     for j in 0..d {
         t2.raw_tombstone((b + j as usize) & (cal_params.capacity - 1));
     }
-    t2.raw_place((b + d as usize) & (cal_params.capacity - 1), probe_key, 1, 0);
+    t2.raw_place(
+        (b + d as usize) & (cal_params.capacity - 1),
+        probe_key,
+        1,
+        0,
+    );
     add_tail_bg(&mut t2, 1);
     add_tail_bg(&mut t2, 2);
     let hit_t = measure(&mut t2, |tb, ctx| {
@@ -987,7 +999,12 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
     // the probed entries double as warmed-up age neighbours and the
     // cycles slope comes out unsound.
     add_tail_bg(&mut t3, 1);
-    t3.raw_place((b + d as usize) & (cal_params.capacity - 1), probe_key, 1, 0);
+    t3.raw_place(
+        (b + d as usize) & (cal_params.capacity - 1),
+        probe_key,
+        1,
+        0,
+    );
     add_tail_bg(&mut t3, 2);
     add_tail_bg(&mut t3, 3);
     let hit_tc = measure(&mut t3, |tb, ctx| {
@@ -1091,9 +1108,9 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
     let scale = params.capacity as u64 / cal_params.capacity as u64;
     let reh_fixed = per_metric(|m| {
         let clear = reh_d[m] - reh_slope[m] * d; // ≈ fixed at cal capacity
-        // Conservative: the clear part is at most the whole fixed cost;
-        // scale it all by the capacity ratio (over-estimates the small
-        // seed/meta part, which keeps the bound sound).
+                                                 // Conservative: the clear part is at most the whole fixed cost;
+                                                 // scale it all by the capacity ratio (over-estimates the small
+                                                 // seed/meta part, which keeps the bound sound).
         clear * scale.max(1)
     });
     // Re-insert probes during rehash are coalesced into a worst-case of 8
@@ -1112,17 +1129,11 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
         methods: vec![
             MethodContract {
                 name: "get",
-                cases: vec![
-                    hit_case(hit0).build("hit"),
-                    hit_case(miss0).build("miss"),
-                ],
+                cases: vec![hit_case(hit0).build("hit"), hit_case(miss0).build("miss")],
             },
             MethodContract {
                 name: "peek",
-                cases: vec![
-                    hit_case(peek0).build("hit"),
-                    hit_case(miss0).build("miss"),
-                ],
+                cases: vec![hit_case(peek0).build("hit"), hit_case(miss0).build("miss")],
             },
             MethodContract {
                 name: "put",
@@ -1146,10 +1157,7 @@ fn calibrate<const K: usize>(ids: FlowTableIds, params: FlowTableParams) -> DsCo
             },
             MethodContract {
                 name: "update",
-                cases: vec![
-                    hit_case(upd0).build("hit"),
-                    hit_case(miss0).build("miss"),
-                ],
+                cases: vec![hit_case(upd0).build("hit"), hit_case(miss0).build("miss")],
             },
         ],
     }
@@ -1267,7 +1275,9 @@ mod tests {
         let now0 = ctx.lit(0, Width::W64);
         assert!(FlowTableOps::<_, 3>::get(&mut table, &mut ctx, &key, now0).is_none());
         let v = ctx.lit(42, Width::W64);
-        assert!(FlowTableOps::<_, 3>::put(&mut table, &mut ctx, &key, v, now0));
+        assert!(FlowTableOps::<_, 3>::put(
+            &mut table, &mut ctx, &key, v, now0
+        ));
         assert_eq!(table.len(), 1);
         let got = FlowTableOps::<_, 3>::get(&mut table, &mut ctx, &key, now0).unwrap();
         assert_eq!(ctx.concrete_value(got), Some(42));
@@ -1371,12 +1381,12 @@ mod tests {
                     }
                     None => assert!(got.is_none(), "step {step}"),
                 }
-            } else if !oracle.contains_key(&kw) {
+            } else if let std::collections::hash_map::Entry::Vacant(e) = oracle.entry(kw) {
                 let v = rng.gen_range(0..1000);
                 let vv = ctx.lit(v, Width::W64);
                 let stored = FlowTableOps::<_, 3>::put(&mut table, &mut ctx, &key, vv, nowv);
                 assert!(stored);
-                oracle.insert(kw, (v, now));
+                e.insert((v, now));
             }
             assert_eq!(table.len(), oracle.len(), "step {step}");
         }
@@ -1391,7 +1401,11 @@ mod tests {
         let mut now = 0u64;
         for _ in 0..2000 {
             now += rng.gen_range(0..3);
-            let kw = [rng.gen_range(0..32u64), rng.gen_range(0..8), rng.gen_range(0..8)];
+            let kw = [
+                rng.gen_range(0..32u64),
+                rng.gen_range(0..8),
+                rng.gen_range(0..8),
+            ];
             let is_get = rng.gen_bool(0.6);
             let mut rec = RecordingTracer::new();
             let (call, probes) = {
@@ -1400,14 +1414,30 @@ mod tests {
                 let nowv = ctx.lit(now, Width::W64);
                 let call = if is_get {
                     match FlowTableOps::<_, 3>::get(&mut table, &mut ctx, &key, nowv) {
-                        Some(_) => StatefulCall { ds: ids.ds, method: M_GET, case: C_HIT },
-                        None => StatefulCall { ds: ids.ds, method: M_GET, case: C_MISS },
+                        Some(_) => StatefulCall {
+                            ds: ids.ds,
+                            method: M_GET,
+                            case: C_HIT,
+                        },
+                        None => StatefulCall {
+                            ds: ids.ds,
+                            method: M_GET,
+                            case: C_MISS,
+                        },
                     }
                 } else {
                     let v = ctx.lit(1, Width::W64);
                     match FlowTableOps::<_, 3>::put(&mut table, &mut ctx, &key, v, nowv) {
-                        true => StatefulCall { ds: ids.ds, method: M_PUT, case: C_STORED },
-                        false => StatefulCall { ds: ids.ds, method: M_PUT, case: C_FULL },
+                        true => StatefulCall {
+                            ds: ids.ds,
+                            method: M_PUT,
+                            case: C_STORED,
+                        },
+                        false => StatefulCall {
+                            ds: ids.ds,
+                            method: M_PUT,
+                            case: C_FULL,
+                        },
                     }
                 };
                 (call, table.last_probe)
@@ -1420,9 +1450,18 @@ mod tests {
             let pred_ic = case.expr(Metric::Instructions).eval(&env);
             let pred_ma = case.expr(Metric::MemAccesses).eval(&env);
             let pred_cy = case.expr(Metric::Cycles).eval(&env);
-            assert!(pred_ic >= ic, "IC bound violated: {pred_ic} < {ic} ({call:?})");
-            assert!(pred_ma >= ma, "MA bound violated: {pred_ma} < {ma} ({call:?})");
-            assert!(pred_cy >= cyc, "cycle bound violated: {pred_cy} < {cyc} ({call:?})");
+            assert!(
+                pred_ic >= ic,
+                "IC bound violated: {pred_ic} < {ic} ({call:?})"
+            );
+            assert!(
+                pred_ma >= ma,
+                "MA bound violated: {pred_ma} < {ma} ({call:?})"
+            );
+            assert!(
+                pred_cy >= cyc,
+                "cycle bound violated: {pred_cy} < {cyc} ({call:?})"
+            );
             // Gap stays bounded (coalescing only). Collision-heavy
             // probes legitimately pay the worst-bit-pattern coalescing
             // (compare exits early, contract charges the full width), so
@@ -1470,7 +1509,9 @@ mod tests {
         assert_eq!(e_count, 256);
         let (ic, ma) = bolt_trace::count_ic_ma(&rec.events);
         let mut env = PcvAssignment::new();
-        env.set(ids.e, e_count).set(ids.te, max_t).set(ids.ce, max_c);
+        env.set(ids.e, e_count)
+            .set(ids.te, max_t)
+            .set(ids.ce, max_c);
         let case = case_of(&reg, ids.ds, M_EXPIRE, 0);
         let pred = case.expr(Metric::Instructions).eval(&env);
         let pred_ma = case.expr(Metric::MemAccesses).eval(&env);

@@ -90,7 +90,7 @@ impl Dir24_8 {
     /// Insert a route (control plane; uninstrumented). Longer prefixes
     /// take precedence, matching DPDK semantics.
     pub fn insert(&mut self, prefix: u32, len: u8, port: u16) {
-        assert!(len >= 1 && len <= 32);
+        assert!((1..=32).contains(&len));
         let fb = self.first_bits;
         if len <= fb {
             // Fill the covered range of the first-level table.

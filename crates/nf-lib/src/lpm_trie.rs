@@ -55,7 +55,12 @@ pub struct LpmTrie {
 
 impl LpmTrie {
     /// Build an empty trie with a default route on port `default_port`.
-    pub fn new(ids: LpmTrieIds, max_nodes: usize, default_port: u16, aspace: &mut AddressSpace) -> Self {
+    pub fn new(
+        ids: LpmTrieIds,
+        max_nodes: usize,
+        default_port: u16,
+        aspace: &mut AddressSpace,
+    ) -> Self {
         LpmTrie {
             ids,
             nodes: vec![Node {
@@ -183,7 +188,10 @@ impl<C: NfCtx> LpmTrieOps<C> for LpmTrieModel {
 /// shape: `slope·l + fixed` for each metric.
 pub fn register(reg: &mut DsRegistry, name: &str, pcv_prefix: &str) -> LpmTrieIds {
     let l = reg.pcv(pcv_prefix, "l");
-    let provisional = LpmTrieIds { ds: DsId(u32::MAX), l };
+    let provisional = LpmTrieIds {
+        ds: DsId(u32::MAX),
+        l,
+    };
     // Calibration: routes at depth 0 vs depth d, worst bit pattern (all
     // ones, so every level pays the 2-ALU bit extraction).
     let d = 16u64;

@@ -438,23 +438,39 @@ mod tests {
         let t100 = ctx.lit(100, Width::W64);
         assert!(BackendPoolOps::<_>::is_alive(&mut pool, &mut ctx, b1, t100));
         let t200 = ctx.lit(200, Width::W64);
-        assert!(!BackendPoolOps::<_>::is_alive(&mut pool, &mut ctx, b1, t200));
+        assert!(!BackendPoolOps::<_>::is_alive(
+            &mut pool, &mut ctx, b1, t200
+        ));
         // Backend 0 never heartbeated and time 200 exceeds the TTL.
         let b0 = ctx.lit(0, Width::W16);
-        assert!(!BackendPoolOps::<_>::is_alive(&mut pool, &mut ctx, b0, t200));
+        assert!(!BackendPoolOps::<_>::is_alive(
+            &mut pool, &mut ctx, b0, t200
+        ));
     }
 
     #[test]
-    fn registered_contracts_are_constant(){
+    fn registered_contracts_are_constant() {
         let mut reg = DsRegistry::new();
         let ring = register_ring(&mut reg, "ring", 8, 1009);
         let pool = register_pool(&mut reg, "backends", 8, 1000);
         use bolt_trace::Metric;
-        let rc = reg.resolve(StatefulCall { ds: ring.ds, method: M_RING_LOOKUP, case: 0 });
+        let rc = reg.resolve(StatefulCall {
+            ds: ring.ds,
+            method: M_RING_LOOKUP,
+            case: 0,
+        });
         assert!(rc.expr(Metric::Instructions).as_const().unwrap() > 0);
         assert_eq!(rc.expr(Metric::MemAccesses).as_const(), Some(1));
-        let alive = reg.resolve(StatefulCall { ds: pool.ds, method: M_IS_ALIVE, case: C_ALIVE });
-        let dead = reg.resolve(StatefulCall { ds: pool.ds, method: M_IS_ALIVE, case: C_DEAD });
+        let alive = reg.resolve(StatefulCall {
+            ds: pool.ds,
+            method: M_IS_ALIVE,
+            case: C_ALIVE,
+        });
+        let dead = reg.resolve(StatefulCall {
+            ds: pool.ds,
+            method: M_IS_ALIVE,
+            case: C_DEAD,
+        });
         assert_eq!(
             alive.expr(Metric::Instructions).as_const(),
             dead.expr(Metric::Instructions).as_const()

@@ -88,7 +88,9 @@ impl AllocatorA {
         // Multiplicative permutation (odd multiplier is a bijection mod
         // 2^k); falls back to a stride pattern for non-power-of-two n.
         let perm: Vec<usize> = if n.is_power_of_two() {
-            (0..n).map(|i| (i.wrapping_mul(0x9E37_79B1)) & (n - 1)).collect()
+            (0..n)
+                .map(|i| (i.wrapping_mul(0x9E37_79B1)) & (n - 1))
+                .collect()
         } else {
             let stride = (n / 2) | 1;
             (0..n).map(|i| (i * stride) % n).collect()
@@ -271,6 +273,15 @@ impl AllocatorB {
             self.n_free -= 1;
         }
     }
+
+    /// Mark a specific port allocated without accounting (pathological
+    /// state synthesis).
+    pub fn raw_take(&mut self, port: u16) {
+        let i = (port - self.base_port) as usize;
+        assert!(!self.used[i], "raw_take of an allocated port");
+        self.used[i] = true;
+        self.n_free -= 1;
+    }
 }
 
 impl<C: NfCtx> PortAllocOps<C> for AllocatorB {
@@ -387,7 +398,10 @@ fn run_measure(f: impl FnOnce(&mut ConcreteCtx<'_>)) -> [u64; 3] {
 /// Calibrate and register allocator A (constant costs).
 pub fn register_a(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) -> PortAllocIds {
     let p = reg.pcv(name, "p");
-    let provisional = PortAllocIds { ds: DsId(u32::MAX), p };
+    let provisional = PortAllocIds {
+        ds: DsId(u32::MAX),
+        p,
+    };
     // Worst-case alloc: head node on a cold line, successor on another.
     let alloc_cost = run_measure(|ctx| {
         let mut aspace = AddressSpace::new();
@@ -413,13 +427,22 @@ pub fn register_a(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) ->
             MethodContract {
                 name: "alloc",
                 cases: vec![
-                    CaseContract { name: "ok", perf: consts(alloc_cost) },
-                    CaseContract { name: "exhausted", perf: consts(exhausted) },
+                    CaseContract {
+                        name: "ok",
+                        perf: consts(alloc_cost),
+                    },
+                    CaseContract {
+                        name: "exhausted",
+                        perf: consts(exhausted),
+                    },
                 ],
             },
             MethodContract {
                 name: "free",
-                cases: vec![CaseContract { name: "free", perf: consts(free_cost) }],
+                cases: vec![CaseContract {
+                    name: "free",
+                    perf: consts(free_cost),
+                }],
             },
         ],
     };
@@ -430,7 +453,10 @@ pub fn register_a(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) ->
 /// Calibrate and register allocator B (alloc linear in probes `p`).
 pub fn register_b(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) -> PortAllocIds {
     let p = reg.pcv(name, "p");
-    let provisional = PortAllocIds { ds: DsId(u32::MAX), p };
+    let provisional = PortAllocIds {
+        ds: DsId(u32::MAX),
+        p,
+    };
     let nn = n.max(64);
     let alloc0 = run_measure(|ctx| {
         let mut aspace = AddressSpace::new();
@@ -482,12 +508,18 @@ pub fn register_b(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) ->
                 name: "alloc",
                 cases: vec![
                     ok_case,
-                    CaseContract { name: "exhausted", perf: consts(exhausted) },
+                    CaseContract {
+                        name: "exhausted",
+                        perf: consts(exhausted),
+                    },
                 ],
             },
             MethodContract {
                 name: "free",
-                cases: vec![CaseContract { name: "free", perf: consts(free_cost) }],
+                cases: vec![CaseContract {
+                    name: "free",
+                    perf: consts(free_cost),
+                }],
             },
         ],
     };
@@ -629,11 +661,17 @@ pub fn register_map(reg: &mut DsRegistry, name: &str, n: usize, base_port: u16) 
         methods: vec![
             MethodContract {
                 name: "set",
-                cases: vec![CaseContract { name: "set", perf: consts(set_cost) }],
+                cases: vec![CaseContract {
+                    name: "set",
+                    perf: consts(set_cost),
+                }],
             },
             MethodContract {
                 name: "get",
-                cases: vec![CaseContract { name: "get", perf: consts(get_cost) }],
+                cases: vec![CaseContract {
+                    name: "get",
+                    perf: consts(get_cost),
+                }],
             },
         ],
     };
@@ -712,7 +750,11 @@ mod tests {
             let cyc = bolt_hw::conservative_cycles(&rec.events);
             let mut env = PcvAssignment::new();
             env.set(ids_b.p, b.last_probes);
-            let case = reg.resolve(StatefulCall { ds: ids_b.ds, method: M_ALLOC, case: C_OK });
+            let case = reg.resolve(StatefulCall {
+                ds: ids_b.ds,
+                method: M_ALLOC,
+                case: C_OK,
+            });
             assert!(case.expr(Metric::Instructions).eval(&env) >= ic);
             assert!(case.expr(Metric::MemAccesses).eval(&env) >= ma);
             assert!(case.expr(Metric::Cycles).eval(&env) >= cyc);
@@ -724,8 +766,16 @@ mod tests {
         let mut reg = DsRegistry::new();
         let ids_a = register_a(&mut reg, "alloc_a", 4096, 1);
         let ids_b = register_b(&mut reg, "alloc_b", 4096, 1);
-        let a_case = reg.resolve(StatefulCall { ds: ids_a.ds, method: M_ALLOC, case: C_OK });
-        let b_case = reg.resolve(StatefulCall { ds: ids_b.ds, method: M_ALLOC, case: C_OK });
+        let a_case = reg.resolve(StatefulCall {
+            ds: ids_a.ds,
+            method: M_ALLOC,
+            case: C_OK,
+        });
+        let b_case = reg.resolve(StatefulCall {
+            ds: ids_b.ds,
+            method: M_ALLOC,
+            case: C_OK,
+        });
         // A's contract is a constant.
         assert!(a_case.expr(Metric::Cycles).as_const().is_some());
         // B's contract grows with p.
@@ -737,8 +787,14 @@ mod tests {
         let b_lo = b_case.expr(Metric::Cycles).eval(&lo);
         let b_hi = b_case.expr(Metric::Cycles).eval(&hi);
         let a_c = a_case.expr(Metric::Cycles).as_const().unwrap();
-        assert!(b_lo < a_c, "B must beat A at low occupancy ({b_lo} vs {a_c})");
-        assert!(b_hi > a_c, "A must beat B at high occupancy ({b_hi} vs {a_c})");
+        assert!(
+            b_lo < a_c,
+            "B must beat A at low occupancy ({b_lo} vs {a_c})"
+        );
+        assert!(
+            b_hi > a_c,
+            "A must beat B at high occupancy ({b_hi} vs {a_c})"
+        );
     }
 
     #[test]

@@ -59,15 +59,15 @@ proptest! {
                     }
                 }
                 Op::Put(k, v) => {
-                    if !oracle.contains_key(&(k as u64)) {
+                    oracle.entry(k as u64).or_insert_with(|| {
                         let now_v = ctx.lit(now, Width::W64);
                         let kv = [ctx.lit(k as u64, Width::W64)];
                         let vv = ctx.lit(v as u64, Width::W64);
                         let stored =
                             FlowTableOps::<_, 1>::put(&mut table, &mut ctx, &kv, vv, now_v);
                         prop_assert!(stored);
-                        oracle.insert(k as u64, (v as u64, now));
-                    }
+                        (v as u64, now)
+                    });
                 }
                 Op::AdvanceAndExpire(dt) => {
                     now += dt as u64;

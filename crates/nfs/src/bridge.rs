@@ -5,10 +5,12 @@
 //! flood (Br2), known unicast forwards (Br3), unknown unicast floods.
 //! Unconstrained traffic (Br1) can hit the mass-expiry worst case.
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::{Clock, ClockModel};
 use nf_lib::flow_table::FlowTableParams;
 use nf_lib::mac_table::{self, LearnOutcome, MacTable, MacTableIds, MacTableModel, MacTableOps};
 use nf_lib::registry::DsRegistry;
@@ -58,12 +60,7 @@ pub fn register(reg: &mut DsRegistry, cfg: &BridgeConfig) -> BridgeIds {
 }
 
 /// The stateless bridge logic (Vigor-style: all state behind `table`).
-pub fn process<C: NfCtx, T: MacTableOps<C>>(
-    ctx: &mut C,
-    table: &mut T,
-    now: C::Val,
-    mbuf: Mbuf,
-) {
+pub fn process<C: NfCtx, T: MacTableOps<C>>(ctx: &mut C, table: &mut T, now: C::Val, mbuf: Mbuf) {
     let _e = table.expire(ctx, now);
     let src = ctx.load(mbuf.region, h::ETHER_SRC, 6);
     let dst = ctx.load(mbuf.region, h::ETHER_DST, 6);
@@ -92,45 +89,88 @@ pub fn process<C: NfCtx, T: MacTableOps<C>>(
 }
 
 /// Concrete bridge state bundle.
-pub struct Bridge {
+pub struct BridgeState {
     /// The instrumented MAC table.
     pub table: MacTable,
 }
 
-impl Bridge {
+impl BridgeState {
     /// Build concrete state.
     pub fn new(ids: BridgeIds, cfg: &BridgeConfig, aspace: &mut AddressSpace) -> Self {
         let params = FlowTableParams {
             capacity: cfg.capacity,
             ttl_ns: cfg.ttl_ns,
         };
-        Bridge {
+        BridgeState {
             table: MacTable::new(ids.table, params, cfg.rehash_threshold, aspace),
         }
     }
 }
 
+/// The bridge as a [`NetworkFunction`] descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bridge {
+    /// Configuration.
+    pub cfg: BridgeConfig,
+}
+
+impl Bridge {
+    /// Descriptor with an explicit configuration.
+    pub fn with(cfg: BridgeConfig) -> Self {
+        Bridge { cfg }
+    }
+}
+
+impl NetworkFunction for Bridge {
+    type Ids = BridgeIds;
+    type State = BridgeState;
+
+    fn name(&self) -> &'static str {
+        "bridge"
+    }
+
+    fn register(&self, reg: &mut DsRegistry) -> BridgeIds {
+        register(reg, &self.cfg)
+    }
+
+    fn state(&self, ids: BridgeIds, aspace: &mut AddressSpace) -> BridgeState {
+        BridgeState::new(ids, &self.cfg, aspace)
+    }
+
+    fn process(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut BridgeState,
+        clock: &Clock,
+        mbuf: Mbuf,
+    ) {
+        let now = clock.now(ctx);
+        process(ctx, &mut state.table, now, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: BridgeIds, mbuf: Mbuf) {
+        let params = FlowTableParams {
+            capacity: self.cfg.capacity,
+            ttl_ns: self.cfg.ttl_ns,
+        };
+        let mut model = MacTableModel::new(ids.table, params);
+        let now = ClockModel.now(ctx);
+        process(ctx, &mut model, now, mbuf);
+    }
+}
+
 /// Run the analysis build: explore all paths of the bridge at the given
 /// stack level. Returns the registry (with contracts) and the exploration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Bridge::with(cfg).explore(level)` via bolt_core::nf::NetworkFunction"
+)]
 pub fn explore(
     cfg: &BridgeConfig,
     level: StackLevel,
 ) -> (DsRegistry, BridgeIds, bolt_see::ExplorationResult) {
-    let mut reg = DsRegistry::new();
-    let ids = register(&mut reg, cfg);
-    let params = FlowTableParams {
-        capacity: cfg.capacity,
-        ttl_ns: cfg.ttl_ns,
-    };
-    let result = Explorer::new().explore(|ctx: &mut SymbolicCtx<'_>| {
-        let mut model = MacTableModel::new(ids.table, params);
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            let clock = nf_lib::clock::ClockModel;
-            let now = clock.now(ctx);
-            process(ctx, &mut model, now, mbuf);
-        });
-    });
-    (reg, ids, result)
+    let e = Bridge::with(*cfg).explore(level);
+    (e.reg, e.ids, e.result)
 }
 
 #[cfg(test)]
@@ -155,7 +195,7 @@ mod tests {
         let cfg = BridgeConfig::default();
         let ids = register(&mut reg, &cfg);
         let mut aspace = AddressSpace::new();
-        let mut bridge = Bridge::new(ids, &cfg, &mut aspace);
+        let mut bridge = BridgeState::new(ids, &cfg, &mut aspace);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
         let mut ctx = ConcreteCtx::new(&mut tracer);
@@ -187,26 +227,21 @@ mod tests {
         let cfg = BridgeConfig::default();
         let ids = register(&mut reg, &cfg);
         let mut aspace = AddressSpace::new();
-        let mut bridge = Bridge::new(ids, &cfg, &mut aspace);
+        let mut bridge = BridgeState::new(ids, &cfg, &mut aspace);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
         let mut ctx = ConcreteCtx::new(&mut tracer);
         let clock = Clock::new(Granularity::Milliseconds);
-        let v = env.process_packet(
-            &mut ctx,
-            &frame(BROADCAST_MAC, 0xC),
-            0,
-            |ctx, mbuf| {
-                let now = clock.now(ctx);
-                process(ctx, &mut bridge.table, now, mbuf);
-            },
-        );
+        let v = env.process_packet(&mut ctx, &frame(BROADCAST_MAC, 0xC), 0, |ctx, mbuf| {
+            let now = clock.now(ctx);
+            process(ctx, &mut bridge.table, now, mbuf);
+        });
         assert_eq!(v, NfVerdict::Flood);
     }
 
     #[test]
     fn exploration_covers_all_classes() {
-        let (_, _, result) = explore(&BridgeConfig::default(), StackLevel::FullStack);
+        let result = Bridge::default().explore(StackLevel::FullStack).result;
         // 3 learn outcomes × 3 destination kinds = 9 paths.
         assert_eq!(result.paths.len(), 9);
         for learn in ["src:known", "src:unknown", "src:rehash"] {
@@ -227,8 +262,8 @@ mod tests {
 
     #[test]
     fn nf_only_paths_are_cheaper() {
-        let (_, _, full) = explore(&BridgeConfig::default(), StackLevel::FullStack);
-        let (_, _, nf) = explore(&BridgeConfig::default(), StackLevel::NfOnly);
+        let full = Bridge::default().explore(StackLevel::FullStack).result;
+        let nf = Bridge::default().explore(StackLevel::NfOnly).result;
         let cost = |r: &bolt_see::ExplorationResult| {
             r.paths
                 .iter()

@@ -5,10 +5,12 @@
 //! the stylised contract of Table 1 (whole router) and Table 2 (the
 //! `lpmGet` method).
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::Clock;
 use nf_lib::lpm_trie::{self, LpmTrie, LpmTrieIds, LpmTrieModel, LpmTrieOps};
 use nf_lib::registry::DsRegistry;
 
@@ -44,31 +46,73 @@ pub fn process<C: NfCtx, T: LpmTrieOps<C>>(ctx: &mut C, trie: &mut T, mbuf: Mbuf
 }
 
 /// Concrete state bundle.
-pub struct ExampleRouter {
+pub struct ExampleRouterState {
     /// The instrumented trie.
     pub trie: LpmTrie,
 }
 
-impl ExampleRouter {
+impl ExampleRouterState {
     /// Build concrete state with room for `max_nodes` trie nodes.
     pub fn new(ids: ExampleRouterIds, max_nodes: usize, aspace: &mut AddressSpace) -> Self {
-        ExampleRouter {
+        ExampleRouterState {
             trie: LpmTrie::new(ids.trie, max_nodes, 0, aspace),
         }
     }
 }
 
-/// Run the analysis build.
-pub fn explore(level: StackLevel) -> (DsRegistry, ExampleRouterIds, bolt_see::ExplorationResult) {
-    let mut reg = DsRegistry::new();
-    let ids = register(&mut reg);
-    let result = Explorer::new().explore(|ctx: &mut SymbolicCtx<'_>| {
+/// The §2 running example as a [`NetworkFunction`] descriptor.
+#[derive(Clone, Copy, Debug)]
+pub struct ExampleRouter {
+    /// Trie node capacity for concrete state.
+    pub max_nodes: usize,
+}
+
+impl Default for ExampleRouter {
+    fn default() -> Self {
+        ExampleRouter { max_nodes: 4096 }
+    }
+}
+
+impl NetworkFunction for ExampleRouter {
+    type Ids = ExampleRouterIds;
+    type State = ExampleRouterState;
+
+    fn name(&self) -> &'static str {
+        "example_router"
+    }
+
+    fn register(&self, reg: &mut DsRegistry) -> ExampleRouterIds {
+        register(reg)
+    }
+
+    fn state(&self, ids: ExampleRouterIds, aspace: &mut AddressSpace) -> ExampleRouterState {
+        ExampleRouterState::new(ids, self.max_nodes, aspace)
+    }
+
+    fn process(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut ExampleRouterState,
+        _clock: &Clock,
+        mbuf: Mbuf,
+    ) {
+        process(ctx, &mut state.trie, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: ExampleRouterIds, mbuf: Mbuf) {
         let mut model = LpmTrieModel::new(ids.trie);
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            process(ctx, &mut model, mbuf);
-        });
-    });
-    (reg, ids, result)
+        process(ctx, &mut model, mbuf);
+    }
+}
+
+/// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ExampleRouter::default().explore(level)` via bolt_core::nf::NetworkFunction"
+)]
+pub fn explore(level: StackLevel) -> (DsRegistry, ExampleRouterIds, bolt_see::ExplorationResult) {
+    let e = ExampleRouter::default().explore(level);
+    (e.reg, e.ids, e.result)
 }
 
 #[cfg(test)]
@@ -83,7 +127,7 @@ mod tests {
         let mut reg = DsRegistry::new();
         let ids = register(&mut reg);
         let mut aspace = AddressSpace::new();
-        let mut router = ExampleRouter::new(ids, 4096, &mut aspace);
+        let mut router = ExampleRouterState::new(ids, 4096, &mut aspace);
         router.trie.insert(0x0A000000, 8, 3);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
@@ -99,9 +143,7 @@ mod tests {
         });
         assert_eq!(v, NfVerdict::Forward(3));
 
-        let invalid = h::PacketBuilder::new()
-            .eth(2, 1, h::ETHERTYPE_IPV6)
-            .build();
+        let invalid = h::PacketBuilder::new().eth(2, 1, h::ETHERTYPE_IPV6).build();
         let v = env.process_packet(&mut ctx, &invalid, 0, |ctx, mbuf| {
             process(ctx, &mut router.trie, mbuf)
         });
@@ -110,15 +152,13 @@ mod tests {
 
     #[test]
     fn two_input_classes_emerge() {
-        let (_, _, result) = explore(StackLevel::NfOnly);
+        let result = ExampleRouter::default().explore(StackLevel::NfOnly).result;
         assert_eq!(result.paths.len(), 2);
         assert_eq!(result.tagged("valid").count(), 1);
         assert_eq!(result.tagged("invalid").count(), 1);
         // The invalid path is cheaper than the valid one even before the
         // trie contract is added (Table 1's structure).
-        let ic = |tag: &str| {
-            bolt_trace::count_ic_ma(&result.tagged(tag).next().unwrap().events).0
-        };
+        let ic = |tag: &str| bolt_trace::count_ic_ma(&result.tagged(tag).next().unwrap().events).0;
         assert!(ic("invalid") < ic("valid") + 50);
     }
 }

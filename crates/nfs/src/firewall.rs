@@ -5,9 +5,12 @@
 //! immediately (which is what lets the downstream router's expensive
 //! option path be masked in the composed contract); non-IPv4 drops too.
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_trace::AddressSpace;
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::Clock;
 use nf_lib::registry::DsRegistry;
 
 /// Firewall configuration: the static accept rules (dst prefix, dport).
@@ -81,19 +84,53 @@ pub fn process<C: NfCtx>(ctx: &mut C, cfg: &FirewallConfig, mbuf: Mbuf) {
     }
 }
 
+/// The firewall as a [`NetworkFunction`] descriptor. Stateless: its
+/// registered-state handle and concrete state are both `()`.
+#[derive(Clone, Debug, Default)]
+pub struct Firewall {
+    /// Configuration.
+    pub cfg: FirewallConfig,
+}
+
+impl Firewall {
+    /// Descriptor with an explicit configuration.
+    pub fn with(cfg: FirewallConfig) -> Self {
+        Firewall { cfg }
+    }
+}
+
+impl NetworkFunction for Firewall {
+    type Ids = ();
+    type State = ();
+
+    fn name(&self) -> &'static str {
+        "firewall"
+    }
+
+    fn register(&self, _reg: &mut DsRegistry) {}
+
+    fn state(&self, _ids: (), _aspace: &mut AddressSpace) {}
+
+    fn process(&self, ctx: &mut ConcreteCtx<'_>, _state: &mut (), _clock: &Clock, mbuf: Mbuf) {
+        process(ctx, &self.cfg, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, _ids: (), mbuf: Mbuf) {
+        process(ctx, &self.cfg, mbuf);
+    }
+}
+
 /// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Firewall::with(cfg).explore(level)` via bolt_core::nf::NetworkFunction"
+)]
 pub fn explore(
     cfg: &FirewallConfig,
     level: StackLevel,
 ) -> (DsRegistry, bolt_see::ExplorationResult) {
-    let reg = DsRegistry::new();
-    let cfg = cfg.clone();
-    let result = Explorer::new().explore(move |ctx: &mut SymbolicCtx<'_>| {
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            process(ctx, &cfg, mbuf);
-        });
-    });
-    (reg, result)
+    let e = Firewall::with(cfg.clone()).explore(level);
+    (e.reg, e.result)
 }
 
 #[cfg(test)]
@@ -158,7 +195,7 @@ mod tests {
 
     #[test]
     fn class_structure_matches_table_5a() {
-        let (_, result) = explore(&FirewallConfig::default(), StackLevel::NfOnly);
+        let result = Firewall::default().explore(StackLevel::NfOnly).result;
         // invalid / ip-options / no-options(accept) — the default config's
         // catch-all rule makes a reject path infeasible.
         assert!(result.tagged("no-options").count() >= 1);

@@ -7,15 +7,18 @@
 //! announce themselves with heartbeat packets (LB5). Unconstrained
 //! traffic (LB1) can hit the mass-expiry worst case.
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
-use nf_lib::clock::ClockModel;
-use nf_lib::flow_table::{self, FlowTable, FlowTableIds, FlowTableModel, FlowTableOps, FlowTableParams};
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::{Clock, ClockModel};
+use nf_lib::flow_table::{
+    self, FlowTable, FlowTableIds, FlowTableModel, FlowTableOps, FlowTableParams,
+};
 use nf_lib::maglev::{
-    self, BackendPool, BackendPoolIds, BackendPoolModel, BackendPoolOps, MaglevRing,
-    MaglevRingIds, MaglevRingModel, MaglevRingOps,
+    self, BackendPool, BackendPoolIds, BackendPoolModel, BackendPoolOps, MaglevRing, MaglevRingIds,
+    MaglevRingModel, MaglevRingOps,
 };
 use nf_lib::registry::DsRegistry;
 
@@ -191,28 +194,73 @@ impl Lb {
     }
 }
 
+/// The load balancer as a [`NetworkFunction`] descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadBalancer {
+    /// Configuration.
+    pub cfg: LbConfig,
+}
+
+impl LoadBalancer {
+    /// Descriptor with an explicit configuration.
+    pub fn with(cfg: LbConfig) -> Self {
+        LoadBalancer { cfg }
+    }
+}
+
+impl NetworkFunction for LoadBalancer {
+    type Ids = LbIds;
+    type State = Lb;
+
+    fn name(&self) -> &'static str {
+        "lb"
+    }
+
+    fn register(&self, reg: &mut DsRegistry) -> LbIds {
+        register(reg, &self.cfg)
+    }
+
+    fn state(&self, ids: LbIds, aspace: &mut AddressSpace) -> Lb {
+        Lb::new(ids, &self.cfg, aspace)
+    }
+
+    fn process(&self, ctx: &mut ConcreteCtx<'_>, state: &mut Lb, clock: &Clock, mbuf: Mbuf) {
+        let now = clock.now(ctx);
+        process(
+            ctx,
+            &mut state.ft,
+            &mut state.ring,
+            &mut state.pool,
+            &self.cfg,
+            now,
+            mbuf,
+        );
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: LbIds, mbuf: Mbuf) {
+        let params = FlowTableParams {
+            capacity: self.cfg.capacity,
+            ttl_ns: self.cfg.ttl_ns,
+        };
+        let mut ft = FlowTableModel::new(ids.ft, params);
+        let mut ring = MaglevRingModel::new(ids.ring, self.cfg.n_backends);
+        let mut pool = BackendPoolModel::new(ids.pool);
+        let now = ClockModel.now(ctx);
+        process(ctx, &mut ft, &mut ring, &mut pool, &self.cfg, now, mbuf);
+    }
+}
+
 /// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LoadBalancer::with(cfg).explore(level)` via bolt_core::nf::NetworkFunction"
+)]
 pub fn explore(
     cfg: &LbConfig,
     level: StackLevel,
 ) -> (DsRegistry, LbIds, bolt_see::ExplorationResult) {
-    let mut reg = DsRegistry::new();
-    let ids = register(&mut reg, cfg);
-    let cfg = *cfg;
-    let params = FlowTableParams {
-        capacity: cfg.capacity,
-        ttl_ns: cfg.ttl_ns,
-    };
-    let result = Explorer::new().explore(move |ctx: &mut SymbolicCtx<'_>| {
-        let mut ft = FlowTableModel::new(ids.ft, params);
-        let mut ring = MaglevRingModel::new(ids.ring, cfg.n_backends);
-        let mut pool = BackendPoolModel::new(ids.pool);
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            let now = ClockModel.now(ctx);
-            process(ctx, &mut ft, &mut ring, &mut pool, &cfg, now, mbuf);
-        });
-    });
-    (reg, ids, result)
+    let e = LoadBalancer::with(*cfg).explore(level);
+    (e.reg, e.ids, e.result)
 }
 
 #[cfg(test)]
@@ -333,7 +381,7 @@ mod tests {
 
     #[test]
     fn exploration_covers_lb_classes() {
-        let (_, _, result) = explore(&LbConfig::default(), StackLevel::NfOnly);
+        let result = LoadBalancer::default().explore(StackLevel::NfOnly).result;
         for tag in [
             "invalid",
             "heartbeat",

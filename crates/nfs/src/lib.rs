@@ -15,11 +15,21 @@
 //! | [`static_router`] | static router processing IP options | Table 5b, Fig 3 |
 //! | [`example_router`] | Algorithm 1's trie router | Tables 1 and 2 |
 //!
-//! Each module exposes `register` (contract registration for its stateful
-//! parts), a `process` function (the stateless logic, generic over the
-//! context and the state implementation), an `explore` helper that runs
-//! the model-linked analysis build, and a concrete state bundle for
-//! production runs.
+//! Every NF implements [`bolt_core::nf::NetworkFunction`] through a cheap
+//! *descriptor* type (`Bridge`, `Nat`, `Firewall`, …) bundling its
+//! configuration. The descriptor provides the whole paper workflow:
+//!
+//! ```ignore
+//! let mut contract = Bolt::nf(Bridge::default())
+//!     .explore(StackLevel::FullStack)
+//!     .contract();
+//! ```
+//!
+//! Each module additionally exposes `register` (contract registration for
+//! its stateful parts), a generic `process` function (the stateless
+//! logic, shared by both trait methods), and a concrete state bundle for
+//! production runs. The pre-trait `explore` free functions remain as
+//! deprecated shims for one release.
 
 pub mod bridge;
 pub mod example_router;
@@ -28,6 +38,14 @@ pub mod lb;
 pub mod lpm_router;
 pub mod nat;
 pub mod static_router;
+
+pub use bridge::Bridge;
+pub use example_router::ExampleRouter;
+pub use firewall::Firewall;
+pub use lb::LoadBalancer;
+pub use lpm_router::LpmRouter;
+pub use nat::Nat;
+pub use static_router::StaticRouter;
 
 use bolt_expr::Width;
 use bolt_see::NfCtx;

@@ -4,10 +4,12 @@
 //! for ≤24-bit matches, two for longer — the LPM2/LPM1 split), get their
 //! TTL decremented and checksum fixed, and are forwarded.
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::Clock;
 use nf_lib::lpm_dir24_8::{self, Dir24_8, Dir24_8Ids, Dir24_8Model, Dir24_8Ops};
 use nf_lib::registry::DsRegistry;
 
@@ -70,31 +72,74 @@ pub fn process<C: NfCtx, T: Dir24_8Ops<C>>(ctx: &mut C, lpm: &mut T, mbuf: Mbuf)
 }
 
 /// Concrete state bundle.
-pub struct LpmRouter {
+pub struct LpmRouterState {
     /// The instrumented table.
     pub lpm: Dir24_8,
 }
 
-impl LpmRouter {
+impl LpmRouterState {
     /// Build concrete state.
     pub fn new(ids: LpmRouterIds, cfg: &LpmRouterConfig, aspace: &mut AddressSpace) -> Self {
-        LpmRouter {
+        LpmRouterState {
             lpm: Dir24_8::new(ids.lpm, cfg.first_bits, cfg.max_groups, 0, aspace),
         }
     }
 }
 
-/// Run the analysis build.
-pub fn explore(level: StackLevel) -> (DsRegistry, LpmRouterIds, bolt_see::ExplorationResult) {
-    let mut reg = DsRegistry::new();
-    let ids = register(&mut reg);
-    let result = Explorer::new().explore(|ctx: &mut SymbolicCtx<'_>| {
+/// The DIR-24-8 router as a [`NetworkFunction`] descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LpmRouter {
+    /// Configuration.
+    pub cfg: LpmRouterConfig,
+}
+
+impl LpmRouter {
+    /// Descriptor with an explicit configuration.
+    pub fn with(cfg: LpmRouterConfig) -> Self {
+        LpmRouter { cfg }
+    }
+}
+
+impl NetworkFunction for LpmRouter {
+    type Ids = LpmRouterIds;
+    type State = LpmRouterState;
+
+    fn name(&self) -> &'static str {
+        "lpm_router"
+    }
+
+    fn register(&self, reg: &mut DsRegistry) -> LpmRouterIds {
+        register(reg)
+    }
+
+    fn state(&self, ids: LpmRouterIds, aspace: &mut AddressSpace) -> LpmRouterState {
+        LpmRouterState::new(ids, &self.cfg, aspace)
+    }
+
+    fn process(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut LpmRouterState,
+        _clock: &Clock,
+        mbuf: Mbuf,
+    ) {
+        process(ctx, &mut state.lpm, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: LpmRouterIds, mbuf: Mbuf) {
         let mut model = Dir24_8Model::new(ids.lpm);
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            process(ctx, &mut model, mbuf);
-        });
-    });
-    (reg, ids, result)
+        process(ctx, &mut model, mbuf);
+    }
+}
+
+/// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LpmRouter::default().explore(level)` via bolt_core::nf::NetworkFunction"
+)]
+pub fn explore(level: StackLevel) -> (DsRegistry, LpmRouterIds, bolt_see::ExplorationResult) {
+    let e = LpmRouter::default().explore(level);
+    (e.reg, e.ids, e.result)
 }
 
 #[cfg(test)]
@@ -110,7 +155,7 @@ mod tests {
         let ids = register(&mut reg);
         let cfg = LpmRouterConfig::default();
         let mut aspace = AddressSpace::new();
-        let mut router = LpmRouter::new(ids, &cfg, &mut aspace);
+        let mut router = LpmRouterState::new(ids, &cfg, &mut aspace);
         router.lpm.insert(0x0A000000, 8, 7);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
@@ -132,7 +177,7 @@ mod tests {
         let ids = register(&mut reg);
         let cfg = LpmRouterConfig::default();
         let mut aspace = AddressSpace::new();
-        let mut router = LpmRouter::new(ids, &cfg, &mut aspace);
+        let mut router = LpmRouterState::new(ids, &cfg, &mut aspace);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
         let mut ctx = ConcreteCtx::new(&mut tracer);
@@ -154,7 +199,7 @@ mod tests {
 
     #[test]
     fn four_paths_emerge() {
-        let (_, _, result) = explore(StackLevel::NfOnly);
+        let result = LpmRouter::default().explore(StackLevel::NfOnly).result;
         // invalid, ttl-expired, forwarded×{short,long}.
         assert_eq!(result.paths.len(), 4);
         assert_eq!(result.tagged("forwarded").count(), 2);

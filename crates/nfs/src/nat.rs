@@ -12,11 +12,12 @@
 //! uses — reproducing the §5.3 expiry-batching bug is a one-line change
 //! of [`nf_lib::clock::Granularity`].
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::{PerfExpr, Width};
-use bolt_see::{Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::{AddressSpace, DsId, InstrClass, Metric, StatefulCall};
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
-use nf_lib::clock::ClockModel;
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::{Clock, ClockModel};
 use nf_lib::flow_table::{
     self, FlowTable, FlowTableIds, FlowTableModel, FlowTableOps, FlowTableParams, C_HIT, C_MISS,
     C_STORED, M_EXPIRE, M_GET, M_PUT,
@@ -409,7 +410,10 @@ pub fn register(reg: &mut DsRegistry, cfg: &NatConfig, kind: AllocKind) -> NatId
                 cases: vec![
                     CaseContract {
                         name: "established",
-                        perf: with_glue(sum3(&sum3(&alloc_ok, &put_stored), &pm_set), GLUE_NEW_FLOW),
+                        perf: with_glue(
+                            sum3(&sum3(&alloc_ok, &put_stored), &pm_set),
+                            GLUE_NEW_FLOW,
+                        ),
                     },
                     CaseContract {
                         name: "ports exhausted",
@@ -533,23 +537,153 @@ pub fn process<C: NfCtx, N: NatTableOps<C>>(
     }
 }
 
+/// Concrete NAT state: the composite table around whichever allocator the
+/// descriptor selected (§5.3's runtime A/B choice behind one type).
+pub enum NatState {
+    /// Backed by allocator A (doubly-linked free list).
+    A(NatTable<AllocatorA>),
+    /// Backed by allocator B (rotating array scan).
+    B(NatTable<AllocatorB>),
+}
+
+impl NatState {
+    /// The inner flow table.
+    pub fn ft(&self) -> &FlowTable<3> {
+        match self {
+            NatState::A(t) => &t.ft,
+            NatState::B(t) => &t.ft,
+        }
+    }
+
+    /// The inner flow table, mutably.
+    pub fn ft_mut(&mut self) -> &mut FlowTable<3> {
+        match self {
+            NatState::A(t) => &mut t.ft,
+            NatState::B(t) => &mut t.ft,
+        }
+    }
+
+    /// Free external ports remaining.
+    pub fn ports_available(&self) -> usize {
+        match self {
+            NatState::A(t) => t.pa.available(),
+            NatState::B(t) => t.pa.available(),
+        }
+    }
+
+    /// Mark an external port as taken (pathological-state synthesis).
+    pub fn raw_take_port(&mut self, port: u16) {
+        match self {
+            NatState::A(t) => t.pa.raw_take(port),
+            NatState::B(t) => t.pa.raw_take(port),
+        }
+    }
+}
+
+impl<C: NfCtx> NatTableOps<C> for NatState {
+    fn expire(&mut self, ctx: &mut C, now: C::Val) -> C::Val {
+        match self {
+            NatState::A(t) => t.expire(ctx, now),
+            NatState::B(t) => t.expire(ctx, now),
+        }
+    }
+
+    fn lookup_int(&mut self, ctx: &mut C, key: &[C::Val; 3], now: C::Val) -> Option<C::Val> {
+        match self {
+            NatState::A(t) => t.lookup_int(ctx, key, now),
+            NatState::B(t) => t.lookup_int(ctx, key, now),
+        }
+    }
+
+    fn new_flow(
+        &mut self,
+        ctx: &mut C,
+        key: &[C::Val; 3],
+        packed: C::Val,
+        now: C::Val,
+    ) -> NewFlowOutcome<C::Val> {
+        match self {
+            NatState::A(t) => t.new_flow(ctx, key, packed, now),
+            NatState::B(t) => t.new_flow(ctx, key, packed, now),
+        }
+    }
+
+    fn lookup_ext(&mut self, ctx: &mut C, port: C::Val) -> C::Val {
+        match self {
+            NatState::A(t) => t.lookup_ext(ctx, port),
+            NatState::B(t) => t.lookup_ext(ctx, port),
+        }
+    }
+}
+
+/// The NAT as a [`NetworkFunction`] descriptor.
+#[derive(Clone, Copy, Debug)]
+pub struct Nat {
+    /// Configuration.
+    pub cfg: NatConfig,
+    /// Which allocator backs the port pool.
+    pub kind: AllocKind,
+}
+
+impl Default for Nat {
+    fn default() -> Self {
+        Nat {
+            cfg: NatConfig::default(),
+            kind: AllocKind::A,
+        }
+    }
+}
+
+impl Nat {
+    /// Descriptor with an explicit configuration and allocator.
+    pub fn with(cfg: NatConfig, kind: AllocKind) -> Self {
+        Nat { cfg, kind }
+    }
+}
+
+impl NetworkFunction for Nat {
+    type Ids = NatIds;
+    type State = NatState;
+
+    fn name(&self) -> &'static str {
+        "nat"
+    }
+
+    fn register(&self, reg: &mut DsRegistry) -> NatIds {
+        register(reg, &self.cfg, self.kind)
+    }
+
+    fn state(&self, ids: NatIds, aspace: &mut AddressSpace) -> NatState {
+        match self.kind {
+            AllocKind::A => NatState::A(NatTable::new_a(ids, &self.cfg, aspace)),
+            AllocKind::B => NatState::B(NatTable::new_b(ids, &self.cfg, aspace)),
+        }
+    }
+
+    fn process(&self, ctx: &mut ConcreteCtx<'_>, state: &mut NatState, clock: &Clock, mbuf: Mbuf) {
+        let now = clock.now(ctx);
+        process(ctx, state, &self.cfg, now, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, ids: NatIds, mbuf: Mbuf) {
+        let mut model = NatTableModel::new(ids, &self.cfg);
+        let now = ClockModel.now(ctx);
+        process(ctx, &mut model, &self.cfg, now, mbuf);
+    }
+}
+
 /// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Nat::with(cfg, kind).explore(level)` via bolt_core::nf::NetworkFunction"
+)]
 pub fn explore(
     cfg: &NatConfig,
     kind: AllocKind,
     level: StackLevel,
 ) -> (DsRegistry, NatIds, bolt_see::ExplorationResult) {
-    let mut reg = DsRegistry::new();
-    let ids = register(&mut reg, cfg, kind);
-    let cfg = *cfg;
-    let result = Explorer::new().explore(move |ctx: &mut SymbolicCtx<'_>| {
-        let mut model = NatTableModel::new(ids, &cfg);
-        sym_process_packet(ctx, level, 64, |ctx, mbuf| {
-            let now = ClockModel.now(ctx);
-            process(ctx, &mut model, &cfg, now, mbuf);
-        });
-    });
-    (reg, ids, result)
+    let e = Nat::with(*cfg, kind).explore(level);
+    (e.reg, e.ids, e.result)
 }
 
 /// A placeholder needed by generic code: the flow-table model alone (used
@@ -693,7 +827,7 @@ mod tests {
 
     #[test]
     fn exploration_covers_table_6_rows() {
-        let (_, _, result) = explore(&NatConfig::default(), AllocKind::A, StackLevel::NfOnly);
+        let result = Nat::default().explore(StackLevel::NfOnly).result;
         // Table 6: invalid (×2 shapes), known, new-ok, full, exhausted,
         // ext-known, ext-new.
         assert_eq!(result.tagged("invalid").count(), 2);
@@ -730,6 +864,11 @@ mod tests {
             method: N_LOOKUP_INT,
             case: C_HIT,
         });
-        assert!(known.expr(Metric::Instructions).coeff(&Monomial::var(ids.ft.t)) > 0);
+        assert!(
+            known
+                .expr(Metric::Instructions)
+                .coeff(&Monomial::var(ids.ft.t))
+                > 0
+        );
     }
 }

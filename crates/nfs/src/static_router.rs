@@ -9,10 +9,12 @@
 //! *packet* property, so no stateful model is involved: symbolic
 //! execution simply enumerates one path per option count.
 
+use bolt_core::nf::NetworkFunction;
 use bolt_expr::Width;
-use bolt_see::{ConcreteCtx, Explorer, NfCtx, NfVerdict, SymbolicCtx};
+use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::{AddressSpace, MemRegion};
-use dpdk_sim::{headers as h, sym_process_packet, Mbuf, StackLevel};
+use dpdk_sim::{headers as h, Mbuf, StackLevel};
+use nf_lib::clock::Clock;
 use nf_lib::registry::DsRegistry;
 
 use crate::{decrement_ttl, forward_to};
@@ -39,15 +41,15 @@ impl Default for StaticRouterConfig {
 /// constant-time, constant-address state, so it needs no library model —
 /// the symbolic engine reads it as an opaque memory cell.
 #[derive(Clone, Copy, Debug)]
-pub struct StaticRouter {
+pub struct StaticRouterState {
     /// Simulated region holding 16 × 2-byte next hops.
     pub table: MemRegion,
 }
 
-impl StaticRouter {
+impl StaticRouterState {
     /// Allocate the table region.
     pub fn new(aspace: &mut AddressSpace) -> Self {
-        StaticRouter {
+        StaticRouterState {
             table: aspace.alloc_table(32),
         }
     }
@@ -63,7 +65,7 @@ impl StaticRouter {
 }
 
 /// The stateless router logic.
-pub fn process<C: NfCtx>(ctx: &mut C, router: &StaticRouter, mbuf: Mbuf) {
+pub fn process<C: NfCtx>(ctx: &mut C, router: &StaticRouterState, mbuf: Mbuf) {
     let ether_type = ctx.load(mbuf.region, h::ETHER_TYPE, 2);
     if !ctx.branch_eq_imm(ether_type, h::ETHERTYPE_IPV4 as u64, Width::W16) {
         ctx.tag("invalid");
@@ -131,18 +133,69 @@ pub fn process<C: NfCtx>(ctx: &mut C, router: &StaticRouter, mbuf: Mbuf) {
     forward_to(ctx, port);
 }
 
-/// Run the analysis build.
-pub fn explore(level: StackLevel) -> (DsRegistry, bolt_see::ExplorationResult) {
-    let reg = DsRegistry::new();
-    let result = Explorer::new().explore(|ctx: &mut SymbolicCtx<'_>| {
-        let router = StaticRouter {
+/// The static router as a [`NetworkFunction`] descriptor. Its "state" is
+/// plain constant memory, so its registered-state handle is `()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticRouter {
+    /// Configuration (the next-hop table contents).
+    pub cfg: StaticRouterConfig,
+}
+
+impl StaticRouter {
+    /// Descriptor with an explicit configuration.
+    pub fn with(cfg: StaticRouterConfig) -> Self {
+        StaticRouter { cfg }
+    }
+}
+
+impl NetworkFunction for StaticRouter {
+    type Ids = ();
+    type State = StaticRouterState;
+
+    fn name(&self) -> &'static str {
+        "static_router"
+    }
+
+    fn register(&self, _reg: &mut DsRegistry) {}
+
+    fn state(&self, _ids: (), aspace: &mut AddressSpace) -> StaticRouterState {
+        StaticRouterState::new(aspace)
+    }
+
+    fn process(
+        &self,
+        ctx: &mut ConcreteCtx<'_>,
+        state: &mut StaticRouterState,
+        _clock: &Clock,
+        mbuf: Mbuf,
+    ) {
+        // Contexts are per-packet; (re)installing the table bytes is a
+        // zero-cost bookkeeping operation, not a traced access.
+        state.install(ctx, &self.cfg);
+        process(ctx, state, mbuf);
+    }
+
+    fn sym_process(&self, ctx: &mut SymbolicCtx<'_>, _ids: (), mbuf: Mbuf) {
+        let router = StaticRouterState {
             table: ctx.alloc_region(32),
         };
-        sym_process_packet(ctx, level, 128, |ctx, mbuf| {
-            process(ctx, &router, mbuf);
-        });
-    });
-    (reg, result)
+        process(ctx, &router, mbuf);
+    }
+
+    fn packet_len(&self) -> u64 {
+        // Room for a full option-bearing IPv4 header.
+        128
+    }
+}
+
+/// Run the analysis build.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `StaticRouter::default().explore(level)` via bolt_core::nf::NetworkFunction"
+)]
+pub fn explore(level: StackLevel) -> (DsRegistry, bolt_see::ExplorationResult) {
+    let e = StaticRouter::default().explore(level);
+    (e.reg, e.result)
 }
 
 #[cfg(test)]
@@ -154,14 +207,12 @@ mod tests {
     fn run(frame: &[u8]) -> (NfVerdict, u64) {
         let cfg = StaticRouterConfig::default();
         let mut aspace = AddressSpace::new();
-        let router = StaticRouter::new(&mut aspace);
+        let router = StaticRouterState::new(&mut aspace);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
         let mut ctx = ConcreteCtx::new(&mut tracer);
         router.install(&mut ctx, &cfg);
-        let v = env.process_packet(&mut ctx, frame, 0, |ctx, mbuf| {
-            process(ctx, &router, mbuf)
-        });
+        let v = env.process_packet(&mut ctx, frame, 0, |ctx, mbuf| process(ctx, &router, mbuf));
         (v, tracer.instructions)
     }
 
@@ -202,7 +253,7 @@ mod tests {
     fn ttl_decremented_on_forward() {
         let cfg = StaticRouterConfig::default();
         let mut aspace = AddressSpace::new();
-        let router = StaticRouter::new(&mut aspace);
+        let router = StaticRouterState::new(&mut aspace);
         let mut env = DpdkEnv::full_stack();
         let mut tracer = CountingTracer::new();
         let mut ctx = ConcreteCtx::new(&mut tracer);
@@ -223,7 +274,7 @@ mod tests {
 
     #[test]
     fn paths_enumerate_option_counts() {
-        let (_, result) = explore(StackLevel::NfOnly);
+        let result = StaticRouter::default().explore(StackLevel::NfOnly).result;
         // invalid + malformed + one path per option count 0..=10.
         assert_eq!(result.tagged("invalid").count(), 1);
         assert_eq!(result.tagged("malformed").count(), 1);
@@ -234,9 +285,7 @@ mod tests {
             .tagged("ip-options")
             .map(|p| bolt_trace::count_ic_ma(&p.events).0)
             .collect();
-        costs.push(
-            bolt_trace::count_ic_ma(&result.tagged("no-options").next().unwrap().events).0,
-        );
+        costs.push(bolt_trace::count_ic_ma(&result.tagged("no-options").next().unwrap().events).0);
         costs.sort_unstable();
         let d1 = costs[1] - costs[0];
         for w in costs.windows(2) {

@@ -317,10 +317,7 @@ mod tests {
         let mut ctx = ConcreteCtx::new(&mut t);
         ctx.verdict(NfVerdict::Drop);
         ctx.verdict(NfVerdict::Forward(3));
-        assert_eq!(
-            ctx.verdicts(),
-            &[NfVerdict::Drop, NfVerdict::Forward(3)]
-        );
+        assert_eq!(ctx.verdicts(), &[NfVerdict::Drop, NfVerdict::Forward(3)]);
         assert_eq!(ctx.last_verdict(), Some(NfVerdict::Forward(3)));
     }
 

@@ -46,7 +46,7 @@ impl Path {
 
     /// Whether the path carries a tag.
     pub fn has_tag(&self, tag: &str) -> bool {
-        self.tags.iter().any(|t| *t == tag)
+        self.tags.contains(&tag)
     }
 }
 
@@ -227,9 +227,9 @@ mod tests {
         let solver = Solver::default();
         for p in &result.paths {
             let r = solver.check(&result.pool, &p.constraints);
-            let w = r.witness().unwrap_or_else(|| {
-                panic!("no witness for path {:?} ({:?})", p.decisions, r)
-            });
+            let w = r
+                .witness()
+                .unwrap_or_else(|| panic!("no witness for path {:?} ({:?})", p.decisions, r));
             assert!(w.satisfies(&result.pool, &p.constraints));
         }
     }

@@ -267,7 +267,10 @@ impl NfCtx for SymbolicCtx<'_> {
             return t;
         }
         let w = Width::from_bytes(bytes);
-        let is_packet = self.packet_region.map(|r| r.contains(addr)).unwrap_or(false);
+        let is_packet = self
+            .packet_region
+            .map(|r| r.contains(addr))
+            .unwrap_or(false);
         let name = if is_packet {
             format!("pkt@{offset}:{bytes}")
         } else {

@@ -90,7 +90,10 @@ struct Interval {
 
 impl Interval {
     fn full(w: Width) -> Self {
-        Interval { lo: 0, hi: w.mask() }
+        Interval {
+            lo: 0,
+            hi: w.mask(),
+        }
     }
     fn is_empty(self) -> bool {
         self.lo > self.hi
@@ -257,14 +260,25 @@ impl<'p> Propagator<'p> {
         }
         match *self.pool.get(t) {
             Term::Unop { op: UnOp::Not, a } => self.assert_atom(a, !polarity),
-            Term::Sym { id, width } if width == Width::W1 => {
+            Term::Sym {
+                id,
+                width: Width::W1,
+            } => {
                 self.bind(id, polarity as u64);
             }
-            Term::Binop { op: BinOp::And, a, b } if polarity => {
+            Term::Binop {
+                op: BinOp::And,
+                a,
+                b,
+            } if polarity => {
                 self.assert_atom(a, true);
                 self.assert_atom(b, true);
             }
-            Term::Binop { op: BinOp::Or, a, b } if !polarity => {
+            Term::Binop {
+                op: BinOp::Or,
+                a,
+                b,
+            } if !polarity => {
                 self.assert_atom(a, false);
                 self.assert_atom(b, false);
             }
@@ -632,7 +646,12 @@ impl Solver {
                     if w.eval(pool, t) == pol as u64 {
                         continue;
                     }
-                    if let Term::Binop { op: BinOp::Eq, a, b } = *pool.get(t) {
+                    if let Term::Binop {
+                        op: BinOp::Eq,
+                        a,
+                        b,
+                    } = *pool.get(t)
+                    {
                         if pol {
                             if let Some(x) = prop.as_sym(a) {
                                 let v = w.eval(pool, b);

@@ -182,7 +182,11 @@ pub fn heartbeats(
     for r in 0..rounds {
         for b in 0..n_backends {
             let frame = h::PacketBuilder::new()
-                .eth(0x0200_0000_0001, 0x0200_0000_0100 + b as u64, h::ETHERTYPE_IPV4)
+                .eth(
+                    0x0200_0000_0001,
+                    0x0200_0000_0100 + b as u64,
+                    h::ETHERTYPE_IPV4,
+                )
                 .ipv4(b as u32, 0x0A00_0001, h::IPPROTO_UDP, 64)
                 .udp(1, hb_udp_port)
                 .build();

@@ -19,8 +19,16 @@ fn main() {
     let a = port_alloc::register_a(&mut reg, "alloc_a", 4096, 1024);
     let b = port_alloc::register_b(&mut reg, "alloc_b", 4096, 1024);
 
-    let a_case = reg.resolve(StatefulCall { ds: a.ds, method: M_ALLOC, case: C_OK });
-    let b_case = reg.resolve(StatefulCall { ds: b.ds, method: M_ALLOC, case: C_OK });
+    let a_case = reg.resolve(StatefulCall {
+        ds: a.ds,
+        method: M_ALLOC,
+        case: C_OK,
+    });
+    let b_case = reg.resolve(StatefulCall {
+        ds: b.ds,
+        method: M_ALLOC,
+        case: C_OK,
+    });
     println!("allocation contracts (cycles, conservative):");
     println!("  A: {}", a_case.expr(Metric::Cycles).display(&reg.pcvs));
     println!("  B: {}", b_case.expr(Metric::Cycles).display(&reg.pcvs));
@@ -30,14 +38,15 @@ fn main() {
     // expects (probes ≈ first free slot position).
     let a_cost = a_case.expr(Metric::Cycles).as_const().unwrap();
     println!("expected traffic regimes:");
-    for (regime, probes) in [("low occupancy (high churn)", 1u64), ("high occupancy (low churn)", 40)] {
+    for (regime, probes) in [
+        ("low occupancy (high churn)", 1u64),
+        ("high occupancy (low churn)", 40),
+    ] {
         let mut env = PcvAssignment::new();
         env.set(b.p, probes);
         let b_cost = b_case.expr(Metric::Cycles).eval(&env);
         let winner = if b_cost < a_cost { "B" } else { "A" };
-        println!(
-            "  {regime:<28} A: {a_cost:>5} cycles  B: {b_cost:>5} cycles  → pick {winner}"
-        );
+        println!("  {regime:<28} A: {a_cost:>5} cycles  B: {b_cost:>5} cycles  → pick {winner}");
     }
     println!(
         "\nThe decision falls out of the contracts — no A/B testing rig required (§5.3). \

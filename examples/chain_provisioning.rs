@@ -3,24 +3,20 @@
 //! A firewall that drops IP-options packets sits in front of a router
 //! whose options path is expensive. Adding the two worst cases
 //! over-provisions; BOLT's chain composition proves the expensive
-//! combination infeasible and produces a tighter bound.
+//! combination infeasible and produces a tighter bound. The chain is just
+//! a [`Pipeline`] of NF descriptors.
 //!
 //! Run with: `cargo run --example chain_provisioning`
 
-use bolt::core::{compose, generate, naive_add, ClassSpec, InputClass};
+use bolt::core::{ClassSpec, InputClass};
 use bolt::expr::PcvAssignment;
-use bolt::lib::registry::DsRegistry;
-use bolt::nfs::{firewall, static_router};
+use bolt::nfs::{Firewall, StaticRouter};
 use bolt::see::StackLevel;
 use bolt::solver::Solver;
 use bolt::trace::Metric;
+use bolt::{NetworkFunction, Pipeline};
 
 fn main() {
-    let reg = DsRegistry::new();
-    let (_, fw_exp) = firewall::explore(&firewall::FirewallConfig::default(), StackLevel::FullStack);
-    let (_, rt_exp) = static_router::explore(StackLevel::FullStack);
-    let mut fw = generate(&reg, fw_exp);
-    let mut rt = generate(&reg, rt_exp);
     let solver = Solver::default();
     let env = PcvAssignment::new();
 
@@ -29,28 +25,44 @@ fn main() {
         InputClass::new("IP options", ClassSpec::Tag("ip-options")),
     ];
     println!("individual contracts (instructions):");
-    for (name, c) in [("firewall", &mut fw), ("router", &mut rt)] {
-        for class in &classes {
-            if let Some(q) = c.query(&solver, class, Metric::Instructions, &env) {
-                println!("  {name:<9} {:<14} {}", class.name, q.value);
-            }
+    let mut fw = Firewall::default().contract(StackLevel::FullStack);
+    let mut rt = StaticRouter::default().contract(StackLevel::FullStack);
+    for class in &classes {
+        if let Some(q) = fw.query(class, Metric::Instructions, &env) {
+            println!("  {:<9} {:<14} {}", "firewall", class.name, q.value);
+        }
+    }
+    for class in &classes {
+        if let Some(q) = rt.query(class, Metric::Instructions, &env) {
+            println!("  {:<9} {:<14} {}", "router", class.name, q.value);
         }
     }
 
     // Compose: pair paths, link the packet expressions, drop infeasible
     // combinations (the firewall's forwarded packets can never reach the
-    // router's option loop).
-    let mut chain = compose(&fw, &rt, &solver);
-    println!("\ncomposed firewall→router contract:");
+    // router's option loop). A chain is just a Pipeline of descriptors;
+    // exploring the stages once serves both the composed contract and
+    // the naive baseline.
+    let pipeline = Pipeline::new()
+        .push(Firewall::default())
+        .push(StaticRouter::default());
+    let stage_contracts = pipeline.contracts(StackLevel::FullStack);
+    let naive = Pipeline::naive_add_of(&stage_contracts, Metric::Instructions, &env);
+    let mut chain = Pipeline::compose_all(stage_contracts).unwrap();
+    println!("\ncomposed {:?} contract:", pipeline.names());
     for class in &classes {
         if let Some(q) = chain.query(&solver, class, Metric::Instructions, &env) {
             println!("  chain     {:<14} {}", class.name, q.value);
         }
     }
 
-    let naive = naive_add(&fw, &rt, Metric::Instructions, &env);
     let composed = chain
-        .query(&solver, &InputClass::unconstrained(), Metric::Instructions, &env)
+        .query(
+            &solver,
+            &InputClass::unconstrained(),
+            Metric::Instructions,
+            &env,
+        )
         .unwrap()
         .value;
     println!("\nworst case for provisioning:");

@@ -8,37 +8,37 @@
 //!
 //! Run with: `cargo run --example developer_debugging`
 
-use bolt::core::{generate, ClassSpec, InputClass};
+use bolt::core::{ClassSpec, InputClass};
 use bolt::distiller::{percentile, NfRunner};
 use bolt::expr::{Monomial, PcvAssignment};
 use bolt::lib::clock::Granularity;
-use bolt::lib::registry::DsRegistry;
-use bolt::nfs::nat;
+use bolt::nfs::nat::{AllocKind, Nat, NatConfig};
 use bolt::see::StackLevel;
-use bolt::solver::Solver;
 use bolt::trace::{AddressSpace, Metric};
 use bolt::workloads::generators::uniform_udp_flows;
+use bolt::{Bolt, NetworkFunction};
 
 const SECOND: u64 = 1 << 30;
 
 fn run(granularity: Granularity) -> NfRunner {
-    let cfg = nat::NatConfig {
-        capacity: 4096,
-        ttl_ns: 2 * SECOND,
-        n_ports: 4096,
-        ..Default::default()
-    };
-    let mut reg = DsRegistry::new();
-    let ids = nat::register(&mut reg, &cfg, nat::AllocKind::A);
-    let mut aspace = AddressSpace::new();
-    let mut table = nat::NatTable::new_a(ids, &cfg, &mut aspace);
-    let mut runner = NfRunner::new(StackLevel::FullStack, granularity);
-    runner.play(
-        &uniform_udp_flows(9, 15_000, 256, SECOND / 64, 0),
-        |ctx, mbuf, clock| {
-            let now = clock.now(ctx);
-            nat::process(ctx, &mut table, &cfg, now, mbuf)
+    let nf = Nat::with(
+        NatConfig {
+            capacity: 4096,
+            ttl_ns: 2 * SECOND,
+            n_ports: 4096,
+            ..Default::default()
         },
+        AllocKind::A,
+    );
+    let mut reg = bolt::lib::registry::DsRegistry::new();
+    let ids = nf.register(&mut reg);
+    let mut aspace = AddressSpace::new();
+    let mut state = nf.state(ids, &mut aspace);
+    let mut runner = NfRunner::new(StackLevel::FullStack, granularity);
+    runner.play_nf(
+        &nf,
+        &mut state,
+        &uniform_udp_flows(9, 15_000, 256, SECOND / 64, 0),
     );
     runner
 }
@@ -46,27 +46,34 @@ fn run(granularity: Granularity) -> NfRunner {
 fn main() {
     // Step 1: the contract names the suspect. The `e` coefficient
     // dominates every other PCV by an order of magnitude.
-    let cfg = nat::NatConfig::default();
-    let (reg, ids, exploration) = nat::explore(&cfg, nat::AllocKind::A, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
-    let solver = Solver::default();
+    let mut contract = Bolt::nf(Nat::default())
+        .explore(StackLevel::FullStack)
+        .contract();
+    let ids = contract.ids;
     let known = contract
         .query(
-            &solver,
             &InputClass::new("known flows", ClassSpec::Tag("int:known")),
             Metric::Instructions,
             &PcvAssignment::new(),
         )
         .unwrap();
-    println!("known-flow contract: {}", known.expr.display(&reg.pcvs));
+    println!(
+        "known-flow contract: {}",
+        contract.display_expr(&known.expr)
+    );
     let e_coeff = known.expr.coeff(&Monomial::var(ids.ft.e));
-    println!("the 'e' (expired flows) coefficient is {e_coeff} — dominant. Expiry is the suspect.\n");
+    println!(
+        "the 'e' (expired flows) coefficient is {e_coeff} — dominant. Expiry is the suspect.\n"
+    );
 
     // Step 2: the Distiller confirms batching under the original
     // second-granularity timestamps.
     let original = run(Granularity::Seconds);
     println!("expired flows per packet, SECOND granularity (original):");
-    print!("{}", original.distiller.report(&reg.pcvs, ids.ft.e, 16));
+    print!(
+        "{}",
+        original.distiller.report(&contract.reg.pcvs, ids.ft.e, 16)
+    );
     let p999 = percentile(&original.cycle_samples(), 0.999);
     let p50 = percentile(&original.cycle_samples(), 0.5);
     println!("latency: median {p50:.0} cycles, p99.9 {p999:.0} cycles — a long tail\n");
@@ -74,7 +81,10 @@ fn main() {
     // Step 3: the fix. Millisecond granularity spreads expiry out.
     let fixed = run(Granularity::Milliseconds);
     println!("expired flows per packet, MILLISECOND granularity (fixed):");
-    print!("{}", fixed.distiller.report(&reg.pcvs, ids.ft.e, 16));
+    print!(
+        "{}",
+        fixed.distiller.report(&contract.reg.pcvs, ids.ft.e, 16)
+    );
     let f999 = percentile(&fixed.cycle_samples(), 0.999);
     let f50 = percentile(&fixed.cycle_samples(), 0.5);
     println!("latency: median {f50:.0} cycles, p99.9 {f999:.0} cycles");

@@ -9,58 +9,59 @@
 //!
 //! Run with: `cargo run --example operator_attack_analysis`
 
-use bolt::core::{generate, ClassSpec, InputClass};
+use bolt::core::{ClassSpec, InputClass};
 use bolt::distiller::NfRunner;
 use bolt::expr::PcvAssignment;
 use bolt::lib::clock::Granularity;
-use bolt::nfs::bridge;
+use bolt::nfs::bridge::{Bridge, BridgeConfig};
 use bolt::see::StackLevel;
-use bolt::solver::Solver;
 use bolt::trace::{AddressSpace, Metric};
 use bolt::workloads::generators::{bridge_collision_attack, bridge_traffic};
+use bolt::{Bolt, NetworkFunction};
 
 fn main() {
-    let cfg = bridge::BridgeConfig {
+    let nf = Bridge::with(BridgeConfig {
         capacity: 1024,
         ttl_ns: u64::MAX / 2,
         rehash_threshold: 6,
-    };
-    let (reg, ids, exploration) = bridge::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
-    let solver = Solver::default();
+    });
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
+    let ids = contract.ids;
 
     // The contract prices the attack: cost per probe length.
     println!("contract: learn cost as the attacker lengthens the probe run");
     let unknown = InputClass::new(
         "unknown source, no rehash",
-        ClassSpec::all([ClassSpec::Tag("src:unknown"), ClassSpec::NotTag("src:rehash")]),
+        ClassSpec::all([
+            ClassSpec::Tag("src:unknown"),
+            ClassSpec::NotTag("src:rehash"),
+        ]),
     );
     for t in [0u64, 2, 4, 6, 8] {
         let mut env = PcvAssignment::new();
         env.set(ids.table.store.t, t).set(ids.table.store.c, t);
         let q = contract
-            .query(&solver, &unknown, Metric::Instructions, &env)
+            .query(&unknown, Metric::Instructions, &env)
             .unwrap();
         println!("  probe length {t}: {} instructions", q.value);
     }
     let rehash = contract
         .query(
-            &solver,
             &InputClass::new("rehash", ClassSpec::Tag("src:rehash")),
             Metric::Instructions,
             &PcvAssignment::new(),
         )
         .unwrap();
-    println!("  defence trigger (rehash): {} instructions — the cliff\n", rehash.value);
+    println!(
+        "  defence trigger (rehash): {} instructions — the cliff\n",
+        rehash.value
+    );
 
     // The Distiller: where does legitimate traffic live?
     let mut aspace = AddressSpace::new();
-    let mut b = bridge::Bridge::new(ids, &cfg, &mut aspace);
+    let mut b = nf.state(ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
-    runner.play(&bridge_traffic(3, 10_000, 360, false, 1_000), |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut b, &bridge_traffic(3, 10_000, 360, false, 1_000));
     println!("distiller: probe-length CCDF under legitimate uniform traffic");
     for (t, frac) in runner.distiller.ccdf(ids.table.store.t) {
         println!("  P[probes > {t}] = {frac:.4}");
@@ -81,16 +82,16 @@ fn main() {
     let attack = bridge_collision_attack(|m| b.table.bucket_of(m), 7, 64, 1_000);
     let before = runner.samples.len();
     let seed_before = b.table.seed();
-    runner.play(&attack, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
-    let worst = runner.samples[before..]
-        .iter()
-        .map(|s| s.ic)
-        .max()
-        .unwrap();
-    println!("collision attack replayed: worst packet {} instructions", worst);
-    assert_ne!(seed_before, b.table.seed(), "the defence re-seeded the table");
+    runner.play_nf(&nf, &mut b, &attack);
+    let worst = runner.samples[before..].iter().map(|s| s.ic).max().unwrap();
+    println!(
+        "collision attack replayed: worst packet {} instructions",
+        worst
+    );
+    assert_ne!(
+        seed_before,
+        b.table.seed(),
+        "the defence re-seeded the table"
+    );
     println!("defence triggered: hash seed renewed, attacker's precomputed collisions are dead.");
 }

@@ -1,36 +1,34 @@
 //! Quickstart: generate and query a performance contract.
 //!
-//! This walks the §2 running example end to end: symbolically execute the
-//! trie-based LPM router's analysis build, generate its contract, print
-//! the Table-1-style rows, bind the PCV, and check the prediction against
-//! a real (concrete, instrumented) execution.
+//! This walks the §2 running example end to end through the fluent
+//! pipeline: symbolically execute the trie-based LPM router's analysis
+//! build, generate its contract, print the Table-1-style rows, bind the
+//! PCV, and check the prediction against a real (concrete, instrumented)
+//! execution.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use bolt::core::{generate, ClassSpec, InputClass};
+use bolt::core::{ClassSpec, InputClass};
 use bolt::distiller::NfRunner;
 use bolt::dpdk::headers as h;
 use bolt::expr::PcvAssignment;
 use bolt::lib::clock::Granularity;
-use bolt::nfs::example_router;
+use bolt::nfs::ExampleRouter;
 use bolt::see::StackLevel;
-use bolt::solver::Solver;
 use bolt::trace::{AddressSpace, Metric};
 use bolt::workloads::TimedPacket;
+use bolt::{Bolt, NetworkFunction};
 
 fn main() {
-    // 1. Analysis build: explore every path of the NF linked against the
-    //    data-structure models (Algorithm 2, lines 2-3).
-    let (reg, ids, exploration) = example_router::explore(StackLevel::FullStack);
-    println!("explored {} feasible paths", exploration.paths.len());
-
-    // 2. Generate the contract: stateless instruction costs + the trie's
-    //    pre-analysed method contract per path.
-    let mut contract = generate(&reg, exploration);
+    // 1+2. Analysis build and contract generation in one fluent chain:
+    //      explore every path of the NF linked against the data-structure
+    //      models, then run Algorithm 2 over the result.
+    let nf = ExampleRouter::default();
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
+    println!("explored {} feasible paths", contract.paths().len());
 
     // 3. Query it per input class. The PCV `l` (matched prefix length)
     //    parameterises the valid-packet classes.
-    let solver = Solver::default();
     let classes = [
         InputClass::new(
             "invalid packets",
@@ -44,33 +42,40 @@ fn main() {
     println!("\nperformance contract (instructions):");
     for class in &classes {
         let q = contract
-            .query(&solver, class, Metric::Instructions, &PcvAssignment::new())
+            .query(class, Metric::Instructions, &PcvAssignment::new())
             .unwrap();
-        println!("  {:<18} {}", class.name, q.expr.display(&reg.pcvs));
+        let rendered = contract.display_expr(&q.expr);
+        println!("  {:<18} {rendered}", class.name);
     }
 
     // 4. Bind the PCV: what does a 24-bit match cost?
     let mut env = PcvAssignment::new();
-    env.set(ids.trie.l, 24);
+    env.set(contract.ids.trie.l, 24);
     let q = contract
-        .query(&solver, &classes[1], Metric::Instructions, &env)
+        .query(&classes[1], Metric::Instructions, &env)
         .unwrap();
     println!("\npredicted instructions for a 24-bit match: {}", q.value);
 
     // 5. Validate against the production build: run a real packet through
-    //    the concrete, instrumented router.
+    //    the concrete, instrumented router — built from the same
+    //    descriptor and registered ids.
     let mut aspace = AddressSpace::new();
-    let mut router = example_router::ExampleRouter::new(ids, 4096, &mut aspace);
-    router.trie.insert(0x0A0B0C00, 24, 7);
+    let mut state = nf.state(contract.ids, &mut aspace);
+    state.trie.insert(0x0A0B0C00, 24, 7);
     let frame = h::PacketBuilder::new()
         .eth(2, 1, h::ETHERTYPE_IPV4)
         .ipv4(1, 0x0A0B0C05, h::IPPROTO_UDP, 64)
         .udp(1, 2)
         .build();
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Nanoseconds);
-    runner.play(
-        &[TimedPacket { t_ns: 0, frame, port: 0 }],
-        |ctx, mbuf, _clock| example_router::process(ctx, &mut router.trie, mbuf),
+    runner.play_nf(
+        &nf,
+        &mut state,
+        &[TimedPacket {
+            t_ns: 0,
+            frame,
+            port: 0,
+        }],
     );
     let measured = runner.samples[0].ic;
     println!("measured instructions:                     {measured}");

@@ -5,32 +5,48 @@
 //! the whole toolchain; see the README for the architecture and
 //! EXPERIMENTS.md for the paper-vs-reproduction numbers.
 //!
-//! The pipeline, end to end:
+//! The pipeline, end to end, through the fluent [`Bolt`] entrypoint:
 //!
 //! ```
-//! use bolt::core::{generate, ClassSpec, InputClass};
+//! use bolt::core::{ClassSpec, InputClass};
 //! use bolt::expr::PcvAssignment;
-//! use bolt::nfs::example_router;
+//! use bolt::nfs::ExampleRouter;
 //! use bolt::see::StackLevel;
-//! use bolt::solver::Solver;
 //! use bolt::trace::Metric;
+//! use bolt::Bolt;
 //!
-//! // 1. Symbolically execute the NF's analysis build (models linked in).
-//! let (reg, ids, exploration) = example_router::explore(StackLevel::FullStack);
-//! // 2. Generate the performance contract (Algorithm 2).
-//! let mut contract = generate(&reg, exploration);
-//! // 3. Query it: what do invalid packets cost, in instructions?
+//! // 1. Symbolically execute the NF's analysis build (models linked in)
+//! //    and generate the performance contract (Algorithm 2).
+//! let mut contract = Bolt::nf(ExampleRouter::default())
+//!     .explore(StackLevel::FullStack)
+//!     .contract();
+//! // 2. Query it: what do invalid packets cost, in instructions?
 //! let invalid = InputClass::new(
 //!     "invalid packets",
 //!     ClassSpec::field_ne(bolt::dpdk::headers::ETHER_TYPE, 2, 0x0800),
 //! );
-//! let solver = Solver::default();
 //! let mut env = PcvAssignment::new();
-//! env.set(ids.trie.l, 32); // worst-case matched prefix length
+//! env.set(contract.ids.trie.l, 32); // worst-case matched prefix length
 //! let q = contract
-//!     .query(&solver, &invalid, Metric::Instructions, &env)
+//!     .query(&invalid, Metric::Instructions, &env)
 //!     .unwrap();
 //! assert!(q.value > 0);
+//! ```
+//!
+//! Chains compose the same way (§3.4) — a chain is a [`Pipeline`] of NF
+//! descriptors:
+//!
+//! ```
+//! use bolt::nfs::{Firewall, StaticRouter};
+//! use bolt::see::StackLevel;
+//! use bolt::Pipeline;
+//!
+//! let chain = Pipeline::new()
+//!     .push(Firewall::default())
+//!     .push(StaticRouter::default())
+//!     .contract(StackLevel::NfOnly)
+//!     .unwrap();
+//! assert!(!chain.paths.is_empty());
 //! ```
 
 pub use bolt_core as core;
@@ -43,6 +59,9 @@ pub use bolt_trace as trace;
 pub use bolt_workloads as workloads;
 pub use dpdk_sim as dpdk;
 pub use nf_lib as lib;
+
+pub use bolt_core::nf::{AbstractNf, Bolt, NetworkFunction};
+pub use bolt_core::Pipeline;
 
 /// Re-export of the symbolic/concrete execution engine with the stack
 /// level alias used throughout the examples.

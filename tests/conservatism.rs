@@ -2,34 +2,38 @@
 //! that satisfies the contract's assumptions, the measured performance is
 //! guaranteed to be no more than the metric value predicted by the
 //! contract" — checked end-to-end for every NF, on randomized workloads,
-//! for all three metrics, with the §5.1 gap bound on IC/MA.
+//! for all three metrics, with the §5.1 gap bound on IC/MA. Everything
+//! runs through the fluent `Bolt` pipeline and the `NetworkFunction`
+//! trait.
 
-use bolt::core::{generate, ClassSpec, InputClass};
+use bolt::core::nf::Contract;
+use bolt::core::{ClassSpec, InputClass};
 use bolt::distiller::NfRunner;
-use bolt::solver::Solver;
 use bolt::expr::PcvAssignment;
 use bolt::lib::clock::Granularity;
-use bolt::lib::registry::DsRegistry;
-use bolt::nfs::{bridge, lb, lpm_router, nat};
+use bolt::nfs::bridge::{Bridge, BridgeConfig};
+use bolt::nfs::lb::{LbConfig, LoadBalancer};
+use bolt::nfs::lpm_router::LpmRouter;
+use bolt::nfs::nat::{AllocKind, Nat, NatConfig};
 use bolt::see::StackLevel;
 use bolt::trace::{AddressSpace, Metric};
 use bolt::workloads::generators::*;
 use bolt::workloads::TimedPacket;
+use bolt::{Bolt, NetworkFunction};
 
 /// For each packet: measured ≤ the worst contract path evaluated at the
 /// distilled worst PCV binding. Returns (max measured, predicted bound,
 /// gap fraction). `class` restricts the query the way §5.1's per-class
 /// methodology does (e.g. the measured workload never rehashes, so its
 /// class excludes the rehash cliff).
-fn check_bound_class(
-    contract: &mut bolt::core::NfContract,
+fn check_bound_class<I>(
+    contract: &mut Contract<I>,
     runner: &NfRunner,
     metric: Metric,
     class: &InputClass,
 ) -> (u64, u64, f64) {
     let env: PcvAssignment = runner.distiller.worst_assignment();
-    let solver = Solver::default();
-    let bound = contract.query(&solver, class, metric, &env).unwrap().value;
+    let bound = contract.query(class, metric, &env).unwrap().value;
     let measured = runner
         .samples
         .iter()
@@ -49,8 +53,8 @@ fn check_bound_class(
 }
 
 /// Unconstrained-class bound check.
-fn check_bound(
-    contract: &mut bolt::core::NfContract,
+fn check_bound<I>(
+    contract: &mut Contract<I>,
     runner: &NfRunner,
     metric: Metric,
 ) -> (u64, u64, f64) {
@@ -63,22 +67,18 @@ fn bridge_contract_is_conservative_with_small_gap() {
     // representative classes of input packets that do not encounter hash
     // collisions or entry expirations" (Br2/Br3). Long TTL ⇒ no expiry;
     // small MAC space in a large table ⇒ negligible collisions.
-    let cfg = bridge::BridgeConfig {
+    let nf = Bridge::with(BridgeConfig {
         capacity: 1024,
         ttl_ns: u64::MAX / 2,
         rehash_threshold: 64,
-    };
-    let (reg, ids, exploration) = bridge::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    });
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
 
     let mut aspace = AddressSpace::new();
-    let mut b = bridge::Bridge::new(ids, &cfg, &mut aspace);
+    let mut b = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     let pkts = bridge_traffic(11, 3000, 128, false, 10_000);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut b, &pkts);
 
     let class = InputClass::new("no rehash", ClassSpec::NotTag("src:rehash"));
     let (_, _, _) = check_bound_class(&mut contract, &runner, Metric::MemAccesses, &class);
@@ -99,21 +99,17 @@ fn bridge_bound_holds_under_expiry_churn() {
     // Bound-only check on dirty traffic (expiry bursts + collisions):
     // conservatism must hold even when the worst PCVs of different
     // packets combine.
-    let cfg = bridge::BridgeConfig {
+    let nf = Bridge::with(BridgeConfig {
         capacity: 1024,
         ttl_ns: 1_000_000,
         rehash_threshold: 64,
-    };
-    let (reg, ids, exploration) = bridge::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    });
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
     let mut aspace = AddressSpace::new();
-    let mut b = bridge::Bridge::new(ids, &cfg, &mut aspace);
+    let mut b = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     let pkts = bridge_traffic(11, 3000, 256, false, 10_000);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut b, &pkts);
     let class = InputClass::new("no rehash", ClassSpec::NotTag("src:rehash"));
     check_bound_class(&mut contract, &runner, Metric::Instructions, &class);
     check_bound_class(&mut contract, &runner, Metric::MemAccesses, &class);
@@ -122,23 +118,22 @@ fn bridge_bound_holds_under_expiry_churn() {
 
 #[test]
 fn nat_contract_is_conservative_on_churny_traffic() {
-    let cfg = nat::NatConfig {
-        capacity: 1024,
-        ttl_ns: 500_000,
-        n_ports: 1024,
-        ..Default::default()
-    };
-    let (reg, ids, exploration) = nat::explore(&cfg, nat::AllocKind::A, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    let nf = Nat::with(
+        NatConfig {
+            capacity: 1024,
+            ttl_ns: 500_000,
+            n_ports: 1024,
+            ..Default::default()
+        },
+        AllocKind::A,
+    );
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
 
     let mut aspace = AddressSpace::new();
-    let mut table = nat::NatTable::new_a(ids, &cfg, &mut aspace);
+    let mut state = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     let pkts = churn_flows(13, 4000, 64, 4, 20_000, 0);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        nat::process(ctx, &mut table, &cfg, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut state, &pkts);
     assert!(
         runner.samples.iter().filter(|s| s.ic > 0).count() == 4000,
         "all packets processed"
@@ -150,27 +145,30 @@ fn nat_contract_is_conservative_on_churny_traffic() {
 
 #[test]
 fn lb_contract_is_conservative_with_failures() {
-    let cfg = lb::LbConfig {
+    let nf = LoadBalancer::with(LbConfig {
         capacity: 512,
         ttl_ns: 1_000_000,
         hb_ttl_ns: 300_000,
         ..Default::default()
-    };
-    let (reg, ids, exploration) = lb::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    });
+    let cfg = nf.cfg;
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
 
     let mut aspace = AddressSpace::new();
-    let mut l = lb::Lb::new(ids, &cfg, &mut aspace);
+    let mut l = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     // Heartbeats for only half the backends → alive and dead paths both
     // exercised; clients churn.
-    let hb = heartbeats(cfg.n_backends / 2, 40, 100_000, cfg.backend_port, cfg.hb_udp_port);
+    let hb = heartbeats(
+        cfg.n_backends / 2,
+        40,
+        100_000,
+        cfg.backend_port,
+        cfg.hb_udp_port,
+    );
     let clients = churn_flows(17, 3000, 48, 8, 15_000, 0);
     let pkts = merge(vec![hb, clients]);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        lb::process(ctx, &mut l.ft, &mut l.ring, &mut l.pool, &cfg, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut l, &pkts);
     check_bound(&mut contract, &runner, Metric::Instructions);
     check_bound(&mut contract, &runner, Metric::MemAccesses);
     check_bound(&mut contract, &runner, Metric::Cycles);
@@ -178,19 +176,16 @@ fn lb_contract_is_conservative_with_failures() {
 
 #[test]
 fn lpm_router_contract_is_conservative_and_tight() {
-    let (reg, ids, exploration) = lpm_router::explore(StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    let nf = LpmRouter::default();
+    let mut contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
 
-    let cfg = lpm_router::LpmRouterConfig::default();
     let mut aspace = AddressSpace::new();
-    let mut r = lpm_router::LpmRouter::new(ids, &cfg, &mut aspace);
+    let mut r = nf.state(contract.ids, &mut aspace);
     r.lpm.insert(0x0A000000, 8, 1);
     r.lpm.insert(0x0B0C0000, 24, 2); // long path on the 16-bit test geometry
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Nanoseconds);
     let pkts = lpm_traffic(19, 2000, 0x0A000100, 0x0B0C0001, 0.3, 1000);
-    runner.play(&pkts, |ctx, mbuf, _clock| {
-        lpm_router::process(ctx, &mut r.lpm, mbuf)
-    });
+    runner.play_nf(&nf, &mut r, &pkts);
     let (measured, bound, gap) = check_bound(&mut contract, &runner, Metric::Instructions);
     // The LPM router is stateless apart from the constant-cost table: the
     // prediction should be nearly exact (paper: ≤7% for IC).
@@ -208,21 +203,17 @@ fn per_packet_predictions_bound_every_packet() {
     // Stronger than the worst-case check: every individual packet's
     // measured IC is bounded by the contract evaluated at that packet's
     // own distilled PCVs (the per-packet methodology of §4).
-    let cfg = bridge::BridgeConfig {
+    let nf = Bridge::with(BridgeConfig {
         capacity: 512,
         ttl_ns: 400_000,
         rehash_threshold: 64,
-    };
-    let (reg, ids, exploration) = bridge::explore(&cfg, StackLevel::FullStack);
-    let mut contract = generate(&reg, exploration);
+    });
+    let contract = Bolt::nf(nf).explore(StackLevel::FullStack).contract();
     let mut aspace = AddressSpace::new();
-    let mut b = bridge::Bridge::new(ids, &cfg, &mut aspace);
+    let mut b = nf.state(contract.ids, &mut aspace);
     let mut runner = NfRunner::new(StackLevel::FullStack, Granularity::Milliseconds);
     let pkts: Vec<TimedPacket> = bridge_traffic(23, 1500, 128, false, 30_000);
-    runner.play(&pkts, |ctx, mbuf, clock| {
-        let now = clock.now(ctx);
-        bridge::process(ctx, &mut b.table, now, mbuf)
-    });
+    runner.play_nf(&nf, &mut b, &pkts);
     for (sample, obs) in runner.samples.iter().zip(runner.distiller.packets()) {
         let pred = contract
             .worst(Metric::Instructions, &obs.max)
