@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use bolt_expr::{PcvAssignment, PerfExpr, Term, TermPool, TermRef};
 use bolt_see::symbolic::PacketField;
 use bolt_see::NfVerdict;
-use bolt_solver::Solver;
+use bolt_solver::{Solver, SolverCache, SolverCtx};
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
@@ -103,10 +103,17 @@ fn add_perf(a: &[PerfExpr; 3], b: &[PerfExpr; 3]) -> [PerfExpr; 3] {
 /// Both NFs must have been registered against the *same*
 /// [`nf_lib::registry::DsRegistry`]
 /// (or be stateless) so that PCV ids agree in the summed expressions.
+///
+/// Pair-compatibility checks run on an incremental [`SolverCtx`]: each
+/// upstream path's constraints are asserted once, and every downstream
+/// candidate is probed with a push/pop against that saved state, with
+/// verdicts and models memoised in a [`SolverCache`] shared across the
+/// whole cross-product.
 pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfContract {
     let mut pool = TermPool::new();
     let mut paths = Vec::new();
     let mut mig_a = Migrator::new(&first.pool, "nf1");
+    let mut cache = SolverCache::new();
 
     for pa in &first.paths {
         let ca: Vec<TermRef> = pa
@@ -150,6 +157,12 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
             .iter()
             .map(|f| (f.offset, f.bytes, mig_a.migrate(&mut pool, f.term)))
             .collect();
+        // The upstream constraints are asserted once; every downstream
+        // candidate extends this saved state under a checkpoint.
+        let mut upstream = SolverCtx::new(solver);
+        for &c in &ca {
+            upstream.assert_term(&pool, c);
+        }
         for pb in &second.paths {
             let mut mig_b = Migrator::new(&second.pool, "nf2");
             let mut cs = ca.clone();
@@ -172,7 +185,13 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
                     cs.push(pool.eq(downstream, u));
                 }
             }
-            if !solver.is_feasible(&pool, &cs) {
+            upstream.push();
+            for &c in &cs[ca.len()..] {
+                upstream.assert_term(&pool, c);
+            }
+            let feasible = upstream.current_feasible(&pool, &mut cache);
+            upstream.pop();
+            if !feasible {
                 continue;
             }
             let mut tags = pa.tags.clone();

@@ -69,8 +69,21 @@ pub struct QueryResult {
 /// cold [`ConservativeModel`] for the cycles metric; every recorded
 /// [`TraceEvent::Stateful`] call contributes the case expression the path
 /// selected, resolved against `reg`.
+///
+/// Panics if the exploration was truncated by the explorer's `max_paths`
+/// bound: a contract over an incomplete path set is not conservative
+/// (its worst case could under-estimate). Callers that want to handle
+/// path explosion must check [`ExplorationResult::truncated`] before
+/// generating.
 pub fn generate(reg: &DsRegistry, exploration: ExplorationResult) -> NfContract {
-    let ExplorationResult { pool, paths } = exploration;
+    assert!(
+        !exploration.truncated,
+        "path explosion: exploration truncated at {} paths — bound the \
+         NF's loops (or raise Explorer::max_paths); a contract over an \
+         incomplete path set would not be conservative",
+        exploration.paths.len()
+    );
+    let ExplorationResult { pool, paths, .. } = exploration;
     let mut out = Vec::with_capacity(paths.len());
     for (index, p) in paths.into_iter().enumerate() {
         let mut perf = [PerfExpr::zero(), PerfExpr::zero(), PerfExpr::zero()];
@@ -330,5 +343,28 @@ mod tests {
         let solver = Solver::default();
         let hits = InputClass::new("hits", ClassSpec::Tag("hit"));
         assert_eq!(contract.compatible_paths(&solver, &hits).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "path explosion")]
+    fn truncated_exploration_cannot_generate_a_contract() {
+        // A contract over an incomplete path set would under-estimate the
+        // worst case; generation must fail loudly, not silently drop
+        // paths (callers handle truncation via ExplorationResult).
+        let reg = DsRegistry::new();
+        let mut ex = Explorer::new();
+        ex.max_paths = 2;
+        let result = ex.explore(|ctx| {
+            let pkt = ctx.packet(64);
+            for i in 0..4 {
+                let b = ctx.load(pkt, i, 1);
+                let z = ctx.lit(0, Width::W8);
+                let c = ctx.eq(b, z);
+                ctx.branch(c);
+            }
+            ctx.verdict(NfVerdict::Drop);
+        });
+        assert!(result.truncated);
+        let _ = generate(&reg, result);
     }
 }

@@ -4,19 +4,84 @@
 //! methods perform aggressive constant folding and a handful of algebraic
 //! simplifications; this keeps path constraints small enough for the solver
 //! without a separate rewrite pass.
+//!
+//! Every term carries O(1) metadata computed once at intern time — its
+//! [`Width`] and its deduplicated, sorted symbol support — so the solver
+//! never re-walks a term to answer `width()` or `syms_of()`. The intern
+//! table hashes *into the arena* (an open-addressed index table) instead
+//! of keying a `HashMap` by cloned `Term`s, so each node is stored once.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::hash::{Hash, Hasher as _};
+use std::sync::Arc;
 
 use crate::term::{BinOp, SymId, Term, TermRef, UnOp, Width};
+
+/// Per-term metadata, computed once when the term is interned.
+#[derive(Debug, Clone)]
+struct TermMeta {
+    /// Result width of the node.
+    width: Width,
+    /// Hash of the node (cached for intern-table rehashing).
+    hash: u64,
+    /// Sorted, deduplicated symbol support. Shared with child terms when
+    /// the support is identical (unary wrappers, one-sided binops).
+    syms: Arc<[SymId]>,
+}
 
 /// Arena + intern table for [`Term`]s, plus the symbol name registry.
 #[derive(Default, Debug)]
 pub struct TermPool {
     terms: Vec<Term>,
-    intern: HashMap<Term, TermRef>,
+    meta: Vec<TermMeta>,
+    /// Open-addressed intern table: `slot = term index + 1`, 0 = empty.
+    /// Capacity is always a power of two.
+    slots: Vec<u32>,
     sym_names: Vec<String>,
     sym_widths: Vec<Width>,
+}
+
+/// Deterministic node hash (stable across processes — memoised results
+/// must not depend on hasher seeding).
+fn hash_term(t: &Term) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Merge two sorted, deduplicated symbol lists.
+fn merge_syms(a: &Arc<[SymId]>, b: &Arc<[SymId]>) -> Arc<[SymId]> {
+    if a.is_empty() {
+        return Arc::clone(b);
+    }
+    if b.is_empty() {
+        return Arc::clone(a);
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    if out.len() == a.len() {
+        return Arc::clone(a); // b ⊆ a
+    }
+    out.into()
 }
 
 impl TermPool {
@@ -40,13 +105,81 @@ impl TermPool {
         self.sym_names.len()
     }
 
+    /// Metadata for a new node (children are already interned, so their
+    /// metadata is an O(1) lookup).
+    fn meta_for(&self, t: &Term, hash: u64) -> TermMeta {
+        let empty: Arc<[SymId]> = Arc::new([]);
+        let (width, syms) = match *t {
+            Term::Const { width, .. } => (width, empty),
+            Term::Sym { id, width } => (width, Arc::from(vec![id])),
+            Term::Unop { a, .. } => {
+                let m = &self.meta[a.index()];
+                (m.width, Arc::clone(&m.syms))
+            }
+            Term::Binop { op, a, b } => {
+                let (ma, mb) = (&self.meta[a.index()], &self.meta[b.index()]);
+                let w = if op.is_comparison() {
+                    Width::W1
+                } else {
+                    ma.width
+                };
+                (w, merge_syms(&ma.syms, &mb.syms))
+            }
+            Term::Ite { c, t: tt, e } => {
+                let (mc, mt, me) = (
+                    &self.meta[c.index()],
+                    &self.meta[tt.index()],
+                    &self.meta[e.index()],
+                );
+                let ct = merge_syms(&mc.syms, &mt.syms);
+                (mt.width, merge_syms(&ct, &me.syms))
+            }
+            Term::Zext { a, width } | Term::Trunc { a, width } => {
+                (width, Arc::clone(&self.meta[a.index()].syms))
+            }
+        };
+        TermMeta { width, hash, syms }
+    }
+
+    /// Grow the intern table to `cap` slots (a power of two) and rehash.
+    fn grow_slots(&mut self, cap: usize) {
+        let mut slots = vec![0u32; cap];
+        let mask = cap - 1;
+        for (idx, m) in self.meta.iter().enumerate() {
+            let mut i = (m.hash as usize) & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = idx as u32 + 1;
+        }
+        self.slots = slots;
+    }
+
     fn intern(&mut self, t: Term) -> TermRef {
-        if let Some(&r) = self.intern.get(&t) {
-            return r;
+        // Keep load factor under ~70%.
+        if (self.terms.len() + 1) * 10 >= self.slots.len() * 7 {
+            self.grow_slots((self.slots.len() * 2).max(64));
+        }
+        let hash = hash_term(&t);
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => break,
+                s => {
+                    let idx = (s - 1) as usize;
+                    if self.meta[idx].hash == hash && self.terms[idx] == t {
+                        return TermRef(s - 1);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
         }
         let r = TermRef(self.terms.len() as u32);
-        self.terms.push(t.clone());
-        self.intern.insert(t, r);
+        let meta = self.meta_for(&t, hash);
+        self.terms.push(t);
+        self.meta.push(meta);
+        self.slots[i] = r.0 + 1;
         r
     }
 
@@ -55,21 +188,10 @@ impl TermPool {
         &self.terms[r.index()]
     }
 
-    /// Width of a term.
+    /// Width of a term — an O(1) metadata lookup (computed at intern
+    /// time, not a recursive walk).
     pub fn width(&self, r: TermRef) -> Width {
-        match *self.get(r) {
-            Term::Const { width, .. } | Term::Sym { width, .. } => width,
-            Term::Unop { a, .. } => self.width(a),
-            Term::Binop { op, a, .. } => {
-                if op.is_comparison() {
-                    Width::W1
-                } else {
-                    self.width(a)
-                }
-            }
-            Term::Ite { t, .. } => self.width(t),
-            Term::Zext { width, .. } | Term::Trunc { width, .. } => width,
-        }
+        self.meta[r.index()].width
     }
 
     /// Name of a symbol.
@@ -117,6 +239,13 @@ impl TermPool {
         let id = self.sym_names.len() as SymId;
         self.sym_names.push(name.into());
         self.sym_widths.push(width);
+        self.intern(Term::Sym { id, width })
+    }
+
+    /// The term for an existing symbol (used to share input symbols
+    /// across exploration runs instead of re-minting them).
+    pub fn sym_ref(&mut self, id: SymId) -> TermRef {
+        let width = self.sym_widths[id as usize];
         self.intern(Term::Sym { id, width })
     }
 
@@ -407,31 +536,11 @@ impl TermPool {
         }
     }
 
-    /// Collect the set of symbols appearing in a term (deduplicated, sorted).
-    pub fn syms_of(&self, r: TermRef) -> Vec<SymId> {
-        let mut out = Vec::new();
-        self.collect_syms(r, &mut out);
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    fn collect_syms(&self, r: TermRef, out: &mut Vec<SymId>) {
-        match *self.get(r) {
-            Term::Const { .. } => {}
-            Term::Sym { id, .. } => out.push(id),
-            Term::Unop { a, .. } => self.collect_syms(a, out),
-            Term::Binop { a, b, .. } => {
-                self.collect_syms(a, out);
-                self.collect_syms(b, out);
-            }
-            Term::Ite { c, t, e } => {
-                self.collect_syms(c, out);
-                self.collect_syms(t, out);
-                self.collect_syms(e, out);
-            }
-            Term::Zext { a, .. } | Term::Trunc { a, .. } => self.collect_syms(a, out),
-        }
+    /// The set of symbols appearing in a term (deduplicated, sorted).
+    /// An O(1) lookup of the support memoised at intern time — no
+    /// traversal, no re-sort, no allocation.
+    pub fn syms_of(&self, r: TermRef) -> &[SymId] {
+        &self.meta[r.index()].syms
     }
 
     /// Render a term as human-readable infix text, using symbol names.
@@ -477,7 +586,16 @@ impl TermPool {
                 self.fmt_term(e, out);
                 out.push(')');
             }
-            Term::Zext { a, .. } | Term::Trunc { a, .. } => self.fmt_term(a, out),
+            Term::Zext { a, .. } => {
+                out.push_str("zext(");
+                self.fmt_term(a, out);
+                out.push(')');
+            }
+            Term::Trunc { a, .. } => {
+                out.push_str("trunc(");
+                self.fmt_term(a, out);
+                out.push(')');
+            }
         }
     }
 }
@@ -581,6 +699,64 @@ mod tests {
         let s = p.add(x, y);
         let s2 = p.add(s, x);
         assert_eq!(p.syms_of(s2), vec![0, 1]);
+    }
+
+    #[test]
+    fn zext_trunc_are_rendered() {
+        let mut p = TermPool::new();
+        let b = p.fresh_sym("b", Width::W8);
+        let z = p.zext(b, Width::W32);
+        let one = p.constant(1, Width::W32);
+        let s = p.add(z, one);
+        assert_eq!(p.display(s), "(zext(b) + 1)");
+        let w = p.fresh_sym("w", Width::W32);
+        let t = p.trunc(w, Width::W8);
+        assert_eq!(p.display(t), "trunc(w)");
+    }
+
+    #[test]
+    fn sym_ref_reuses_the_interned_symbol() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W16);
+        let n = p.len();
+        let again = p.sym_ref(0);
+        assert_eq!(x, again);
+        assert_eq!(p.len(), n);
+    }
+
+    #[test]
+    fn cached_metadata_matches_structure() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let y = p.fresh_sym("y", Width::W32);
+        let s = p.add(x, y);
+        let z = p.zext(s, Width::W64);
+        let c = p.fresh_sym("c", Width::W1);
+        let t = p.trunc(z, Width::W32);
+        let e = p.ite(c, t, x);
+        assert_eq!(p.width(s), Width::W32);
+        assert_eq!(p.width(z), Width::W64);
+        assert_eq!(p.width(e), Width::W32);
+        assert_eq!(p.syms_of(z), &[0, 1]);
+        assert_eq!(p.syms_of(e), &[0, 1, 2]);
+        let cmp = p.ult(x, y);
+        assert_eq!(p.width(cmp), Width::W1);
+    }
+
+    #[test]
+    fn interning_survives_table_growth() {
+        fn mk(p: &mut TermPool, x: TermRef, i: u64) -> TermRef {
+            let c = p.constant(i.max(1), Width::W32);
+            p.add(x, c)
+        }
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let first = mk(&mut p, x, 0);
+        // Force several intern-table resizes.
+        for i in 0..2000u64 {
+            let _ = mk(&mut p, x, i);
+        }
+        assert_eq!(mk(&mut p, x, 0), first, "early terms still found");
     }
 
     #[test]

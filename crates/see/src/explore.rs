@@ -8,12 +8,20 @@
 //! point. The result is the full feasible-path tree of the stateless NF
 //! code, each path carrying its constraints, stateless instruction trace,
 //! stateful-call events, tags, verdict, and packet-field symbol table.
+//!
+//! Solving is incremental throughout: each run extends one
+//! [`SolverCtx`] constraint-by-constraint as it executes, every flip is
+//! probed with a single push/pop against the saved propagation state of
+//! the walked prefix (replacing the old per-flip constraint rescan and
+//! from-scratch solve), and all runs share a [`bolt_solver::SolverCache`]
+//! of feasibility verdicts and models. [`ExplorationResult::stats`]
+//! reports what answered each request.
 
 use bolt_expr::{TermPool, TermRef};
-use bolt_solver::Solver;
+use bolt_solver::{Solver, SolverCtx, SolverStats};
 use bolt_trace::TraceEvent;
 
-use crate::symbolic::{PacketField, RunRecord, SymbolicCtx};
+use crate::symbolic::{ExploreShared, PacketField, SymbolicCtx};
 use crate::NfVerdict;
 
 /// One explored feasible execution path.
@@ -50,6 +58,19 @@ impl Path {
     }
 }
 
+/// Counters describing one exploration's solving work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// How feasibility requests were answered (see [`SolverStats`]).
+    pub solver: SolverStats,
+    /// Number of deterministic re-executions (worklist entries run).
+    pub runs: u64,
+    /// Distinct terms interned in the pool at the end of exploration.
+    pub terms_interned: u64,
+    /// Distinct symbols minted (shared across sibling runs).
+    pub syms_minted: u64,
+}
+
 /// Result of an exploration: the shared term pool plus all feasible paths.
 #[derive(Debug)]
 pub struct ExplorationResult {
@@ -57,6 +78,12 @@ pub struct ExplorationResult {
     pub pool: TermPool,
     /// All feasible paths, in exploration order.
     pub paths: Vec<Path>,
+    /// Solver-work counters for this exploration.
+    pub stats: ExploreStats,
+    /// Whether exploration stopped early because `max_paths` was reached.
+    /// Truncated results are incomplete — library callers must check this
+    /// instead of relying on a panic.
+    pub truncated: bool,
 }
 
 impl ExplorationResult {
@@ -93,47 +120,67 @@ impl Explorer {
     /// Exhaustively explore `body`, which must run one packet's worth of
     /// NF logic against the provided context (deterministically — the same
     /// decisions must lead to the same operations).
+    ///
+    /// If the feasible-path tree exceeds `max_paths`, exploration stops
+    /// and the result is marked [`ExplorationResult::truncated`] instead
+    /// of panicking, so library callers can handle path explosion.
     pub fn explore<F>(&self, mut body: F) -> ExplorationResult
     where
         F: FnMut(&mut SymbolicCtx<'_>),
     {
         let mut pool = TermPool::new();
+        let mut shared = ExploreShared::default();
         let mut paths = Vec::new();
+        let mut truncated = false;
+        let mut runs = 0u64;
         // Worklist of decision prefixes; the final decision of each prefix
         // is the flip that spawned it.
         let mut worklist: Vec<Vec<bool>> = vec![Vec::new()];
         while let Some(prefix) = worklist.pop() {
-            assert!(
-                paths.len() < self.max_paths,
-                "path explosion: more than {} paths — bound the NF's loops",
-                self.max_paths
-            );
+            if paths.len() >= self.max_paths {
+                // Path explosion: stop exploring and report truncation.
+                truncated = true;
+                break;
+            }
+            runs += 1;
             let prefix_len = prefix.len();
-            let mut ctx = SymbolicCtx::new(&mut pool, &self.solver, prefix);
+            let mut ctx = SymbolicCtx::with_shared(&mut pool, &self.solver, prefix, &mut shared);
             body(&mut ctx);
+            let feasible = ctx.path_feasible();
             let rec = ctx.finish();
 
             // Enqueue feasible flips of the decisions made beyond the
             // prefix (the prefix's own decisions were already covered when
-            // their parent run enqueued them).
-            for i in prefix_len..rec.decisions.len() {
-                let mut cs = constraints_before_branch(&rec, i);
-                let cond = rec.branch_conds[i];
-                let flipped = if rec.decisions[i] {
-                    pool.not(cond)
-                } else {
-                    cond
-                };
-                cs.push(flipped);
-                if self.solver.is_feasible(&pool, &cs) {
-                    let mut alt: Vec<bool> = rec.decisions[..i].to_vec();
-                    alt.push(!rec.decisions[i]);
-                    worklist.push(alt);
+            // their parent run enqueued them). One incrementally-extended
+            // context walks the entries in assertion order; each flip is
+            // one push/pop probe against the walked prefix state — the old
+            // code rebuilt the constraint prefix and re-solved from
+            // scratch for every flip, O(n²) per run.
+            let mut walk = SolverCtx::new(&self.solver);
+            if let Some(m) = &rec.model {
+                walk.install_model(&pool, m.clone());
+            }
+            for e in &rec.entries {
+                if let Some(i) = e.branch {
+                    if i >= prefix_len {
+                        let cond = rec.branch_conds[i];
+                        let flipped = if rec.decisions[i] {
+                            pool.not(cond)
+                        } else {
+                            cond
+                        };
+                        if walk.probe_feasible(&pool, &mut shared.cache, flipped) {
+                            let mut alt: Vec<bool> = rec.decisions[..i].to_vec();
+                            alt.push(!rec.decisions[i]);
+                            worklist.push(alt);
+                        }
+                    }
                 }
+                walk.assert_term(&pool, e.term);
             }
 
-            let constraints: Vec<TermRef> = rec.entries.iter().map(|e| e.term).collect();
-            if self.solver.is_feasible(&pool, &constraints) {
+            if feasible {
+                let constraints: Vec<TermRef> = rec.entries.iter().map(|e| e.term).collect();
                 paths.push(Path {
                     constraints,
                     events: rec.events,
@@ -145,20 +192,19 @@ impl Explorer {
                 });
             }
         }
-        ExplorationResult { pool, paths }
-    }
-}
-
-/// All constraints asserted strictly before symbolic branch `i`.
-fn constraints_before_branch(rec: &RunRecord, i: usize) -> Vec<TermRef> {
-    let mut out = Vec::new();
-    for e in &rec.entries {
-        if e.branch == Some(i) {
-            break;
+        let stats = ExploreStats {
+            solver: shared.cache.stats,
+            runs,
+            terms_interned: pool.len() as u64,
+            syms_minted: pool.sym_count() as u64,
+        };
+        ExplorationResult {
+            pool,
+            paths,
+            stats,
+            truncated,
         }
-        out.push(e.term);
     }
-    out
 }
 
 #[cfg(test)]
@@ -284,5 +330,50 @@ mod tests {
             assert_eq!(pa.decisions, pb.decisions);
             assert_eq!(count_ic_ma(&pa.events), count_ic_ma(&pb.events));
         }
+    }
+
+    #[test]
+    fn path_explosion_truncates_instead_of_panicking() {
+        let mut ex = Explorer::new();
+        ex.max_paths = 2;
+        let result = ex.explore(toy_router);
+        assert!(result.truncated, "hitting max_paths must set the marker");
+        assert!(result.paths.len() <= 2);
+        // The untruncated exploration is complete and says so.
+        let full = Explorer::new().explore(toy_router);
+        assert!(!full.truncated);
+        assert_eq!(full.paths.len(), 5);
+    }
+
+    #[test]
+    fn stats_expose_solver_work() {
+        let result = Explorer::new().explore(toy_router);
+        let s = result.stats.solver;
+        assert_eq!(result.stats.runs as usize, result.paths.len());
+        assert!(s.checks_requested > 0, "exploration must issue requests");
+        assert!(
+            s.solver_queries + s.shortcuts() >= s.checks_requested,
+            "every request is either a query or a shortcut"
+        );
+        assert_eq!(result.stats.terms_interned, result.pool.len() as u64);
+    }
+
+    #[test]
+    fn sibling_runs_share_symbols_and_terms() {
+        // Five runs all load the same fields: the pool must hold one
+        // symbol per field, not one per (field, run) pair.
+        let result = Explorer::new().explore(toy_router);
+        assert_eq!(result.paths.len(), 5);
+        let names: Vec<&str> = (0..result.pool.sym_count())
+            .map(|i| result.pool.sym_name(i as u32))
+            .collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(
+            deduped.len(),
+            names.len(),
+            "cross-run symbol registry must not re-mint symbols: {names:?}"
+        );
     }
 }

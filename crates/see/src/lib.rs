@@ -30,8 +30,8 @@ pub mod explore;
 pub mod symbolic;
 
 pub use concrete::ConcreteCtx;
-pub use explore::{ExplorationResult, Explorer, Path};
-pub use symbolic::SymbolicCtx;
+pub use explore::{ExplorationResult, ExploreStats, Explorer, Path};
+pub use symbolic::{ExploreShared, SymbolicCtx};
 
 use bolt_expr::Width;
 use bolt_trace::{MemRegion, Tracer};

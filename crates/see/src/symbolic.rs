@@ -16,10 +16,42 @@
 use std::collections::HashMap;
 
 use bolt_expr::{BinOp, SymId, TermPool, TermRef, Width};
-use bolt_solver::Solver;
+use bolt_solver::{Solver, SolverCache, SolverCtx, Witness};
 use bolt_trace::{AddressSpace, InstrClass, MemRegion, RecordingTracer, TraceEvent, Tracer};
 
 use crate::{NfCtx, NfVerdict};
+
+/// State shared across the runs of one exploration: the solver's
+/// feasibility caches and the cross-run symbol registry (the same packet
+/// field or model call mints the same symbol in every run, so terms —
+/// and therefore cached feasibility verdicts and models — are shared
+/// between sibling runs instead of re-interned per run).
+#[derive(Debug, Default)]
+pub struct ExploreShared {
+    /// Feasibility memo, per-atom witness cache, model cache, counters.
+    pub cache: SolverCache,
+    /// `(symbol name, width bits) → id` for symbols minted by earlier
+    /// runs. Width is part of the key so a name reused at a different
+    /// width (degenerate, but possible with order-dependent `fresh`
+    /// ordinals) gets its own symbol instead of flip-flopping the entry.
+    sym_registry: HashMap<(String, u32), SymId>,
+}
+
+/// Shared state: borrowed from the explorer, or owned by a standalone
+/// context.
+enum SharedRef<'p> {
+    Owned(Box<ExploreShared>),
+    Borrowed(&'p mut ExploreShared),
+}
+
+impl SharedRef<'_> {
+    fn get_mut(&mut self) -> &mut ExploreShared {
+        match self {
+            SharedRef::Owned(s) => s,
+            SharedRef::Borrowed(s) => s,
+        }
+    }
+}
 
 /// A lazily-minted symbolic packet field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,12 +95,21 @@ pub struct RunRecord {
     pub packet_fields: Vec<PacketField>,
     /// Final `(offset, bytes) → term` state of the packet region.
     pub final_packet: Vec<(u64, u8, TermRef)>,
+    /// A verified model of the full path constraints, when one fell out
+    /// of the run's feasibility checks (seeds the explorer's flip walk).
+    pub model: Option<Witness>,
 }
 
 /// Symbolic execution context for one run (one candidate path).
+///
+/// Carries an incrementally-extended [`SolverCtx`] mirroring the path
+/// constraints asserted so far, so default-arm feasibility probes at
+/// branches assert one atom against saved propagation state instead of
+/// replaying the whole conjunction.
 pub struct SymbolicCtx<'p> {
     pool: &'p mut TermPool,
-    solver: &'p Solver,
+    sctx: SolverCtx,
+    shared: SharedRef<'p>,
     tracer: RecordingTracer,
     schedule: Vec<bool>,
     decisions: Vec<bool>,
@@ -84,11 +125,33 @@ pub struct SymbolicCtx<'p> {
 }
 
 impl<'p> SymbolicCtx<'p> {
-    /// New context that will replay `schedule` and then default-explore.
+    /// New standalone context that will replay `schedule` and then
+    /// default-explore, with private caches.
     pub fn new(pool: &'p mut TermPool, solver: &'p Solver, schedule: Vec<bool>) -> Self {
+        Self::build(pool, solver, schedule, SharedRef::Owned(Box::default()))
+    }
+
+    /// New context sharing caches and the symbol registry with sibling
+    /// runs of one exploration.
+    pub fn with_shared(
+        pool: &'p mut TermPool,
+        solver: &'p Solver,
+        schedule: Vec<bool>,
+        shared: &'p mut ExploreShared,
+    ) -> Self {
+        Self::build(pool, solver, schedule, SharedRef::Borrowed(shared))
+    }
+
+    fn build(
+        pool: &'p mut TermPool,
+        solver: &'p Solver,
+        schedule: Vec<bool>,
+        shared: SharedRef<'p>,
+    ) -> Self {
         SymbolicCtx {
+            sctx: SolverCtx::new(solver),
             pool,
-            solver,
+            shared,
             tracer: RecordingTracer::new(),
             schedule,
             decisions: Vec::new(),
@@ -134,6 +197,14 @@ impl<'p> SymbolicCtx<'p> {
         self.verdicts.last().copied()
     }
 
+    /// Whole-path feasibility of the constraints asserted so far, decided
+    /// on the run's own incremental context (no replay). Classification
+    /// is exactly the batch solver's.
+    pub fn path_feasible(&mut self) -> bool {
+        let shared = self.shared.get_mut();
+        self.sctx.current_feasible(self.pool, &mut shared.cache)
+    }
+
     /// Tear down the run and emit its record.
     pub fn finish(self) -> RunRecord {
         let pkt = self.packet_region;
@@ -155,6 +226,7 @@ impl<'p> SymbolicCtx<'p> {
             verdicts: self.verdicts,
             packet_fields: self.packet_fields,
             final_packet,
+            model: self.sctx.model().cloned(),
         }
     }
 
@@ -172,6 +244,50 @@ impl<'p> SymbolicCtx<'p> {
         };
         *n += 1;
         uniq
+    }
+
+    /// Mint (or, when a sibling run already minted it, reuse) the symbol
+    /// for `name`. Sharing symbols across runs makes the terms of common
+    /// decision prefixes identical between siblings, which is what lets
+    /// the feasibility memo and model cache hit across runs.
+    fn mint_sym(&mut self, name: &str, w: Width) -> TermRef {
+        let shared = self.shared.get_mut();
+        let key = (name.to_string(), w.bits());
+        if let Some(&id) = shared.sym_registry.get(&key) {
+            return self.pool.sym_ref(id);
+        }
+        let t = self.pool.fresh_sym(name, w);
+        if let bolt_expr::Term::Sym { id, .. } = *self.pool.get(t) {
+            shared.sym_registry.insert(key, id);
+        }
+        t
+    }
+
+    /// Record a taken decision: remember the branch, append its
+    /// constraint, and extend the incremental solver context.
+    fn take_decision(&mut self, idx: usize, c: TermRef, taken: bool) {
+        self.decisions.push(taken);
+        self.branch_conds.push(c);
+        let constraint = if taken { c } else { self.pool.not(c) };
+        self.entries.push(ConstraintEntry {
+            term: constraint,
+            branch: Some(idx),
+        });
+        self.sctx.assert_term(self.pool, constraint);
+    }
+
+    /// Decide a symbolic condition: replay the schedule, or default to
+    /// the true arm unless a single push/pop probe proves it infeasible.
+    fn decide(&mut self, c: TermRef) -> bool {
+        let idx = self.decisions.len();
+        let taken = if idx < self.schedule.len() {
+            self.schedule[idx]
+        } else {
+            let shared = self.shared.get_mut();
+            self.sctx.probe_feasible(self.pool, &mut shared.cache, c)
+        };
+        self.take_decision(idx, c, taken);
+        taken
     }
 }
 
@@ -239,24 +355,10 @@ impl NfCtx for SymbolicCtx<'_> {
         if let Some(v) = self.pool.as_const(c) {
             return v != 0;
         }
-        let idx = self.decisions.len();
-        let taken = if idx < self.schedule.len() {
-            self.schedule[idx]
-        } else {
-            // Beyond the schedule: default to the true arm unless it is
-            // provably infeasible (guarantees progress for bounded loops).
-            let mut probe = self.constraints();
-            probe.push(c);
-            self.solver.is_feasible(self.pool, &probe)
-        };
-        self.decisions.push(taken);
-        self.branch_conds.push(c);
-        let constraint = if taken { c } else { self.pool.not(c) };
-        self.entries.push(ConstraintEntry {
-            term: constraint,
-            branch: Some(idx),
-        });
-        taken
+        // Beyond the schedule, `decide` defaults to the true arm unless a
+        // single push/pop probe against the saved propagation state proves
+        // it infeasible (guarantees progress for bounded loops).
+        self.decide(c)
     }
 
     fn load(&mut self, region: MemRegion, offset: u64, bytes: usize) -> TermRef {
@@ -276,7 +378,7 @@ impl NfCtx for SymbolicCtx<'_> {
         } else {
             format!("mem@{:#x}:{bytes}", addr)
         };
-        let t = self.pool.fresh_sym(&name, w);
+        let t = self.mint_sym(&name, w);
         self.mem.insert(key, t);
         if is_packet {
             if let bolt_expr::Term::Sym { id, .. } = *self.pool.get(t) {
@@ -299,29 +401,14 @@ impl NfCtx for SymbolicCtx<'_> {
 
     fn fresh(&mut self, name: &str, w: Width) -> TermRef {
         let uniq = self.unique_name(name);
-        self.pool.fresh_sym(&uniq, w)
+        self.mint_sym(&uniq, w)
     }
 
     fn fork(&mut self, c: TermRef) -> bool {
         if let Some(v) = self.pool.as_const(c) {
             return v != 0;
         }
-        let idx = self.decisions.len();
-        let taken = if idx < self.schedule.len() {
-            self.schedule[idx]
-        } else {
-            let mut probe = self.constraints();
-            probe.push(c);
-            self.solver.is_feasible(self.pool, &probe)
-        };
-        self.decisions.push(taken);
-        self.branch_conds.push(c);
-        let constraint = if taken { c } else { self.pool.not(c) };
-        self.entries.push(ConstraintEntry {
-            term: constraint,
-            branch: Some(idx),
-        });
-        taken
+        self.decide(c)
     }
 
     fn eq_free(&mut self, a: TermRef, b: TermRef) -> TermRef {
@@ -340,6 +427,7 @@ impl NfCtx for SymbolicCtx<'_> {
             term: c,
             branch: None,
         });
+        self.sctx.assert_term(self.pool, c);
     }
 
     fn tag(&mut self, tag: &'static str) {

@@ -1,11 +1,12 @@
 //! Constraint solving for NF path constraints.
 //!
-//! The paper's BOLT prototype drives Z3/STP through KLEE. The constraints
-//! produced by symbolic execution of *network functions* are shallow,
-//! though: equalities between packet fields and constants, range checks,
-//! and boolean case-selection symbols injected by data-structure models.
-//! This crate implements a small decision procedure specialised to that
-//! fragment:
+//! The paper's BOLT prototype drives Z3/STP through KLEE, and makes
+//! exhaustive path exploration tractable with *incremental* solving and
+//! caching inside KLEE. The constraints produced by symbolic execution of
+//! *network functions* are shallow, though: equalities between packet
+//! fields and constants, range checks, and boolean case-selection symbols
+//! injected by data-structure models. This crate implements a small
+//! decision procedure specialised to that fragment:
 //!
 //! 1. **Propagation** — top-level conjunctions are flattened; equalities
 //!    bind symbols through a union-find; comparisons against constants
@@ -18,8 +19,29 @@
 //! 3. Otherwise the result is [`SolveResult::Unknown`], which callers must
 //!    treat conservatively (keep the path / keep the pair) — exactly how
 //!    the paper's pipeline stays sound when the solver times out.
+//!
+//! On top of the batch [`Solver::check`] API sits the incremental layer
+//! used by the path explorer and chain composition:
+//!
+//! * [`SolverCtx`] holds the propagation state of an asserted constraint
+//!   prefix and supports `push`/`pop` checkpoints, so probing
+//!   `prefix + [flipped]` asserts *one* atom against saved state instead
+//!   of replaying the whole conjunction.
+//! * [`SolverCache`] memoises feasibility verdicts by exact constraint
+//!   list, caches satisfiable-alone witnesses per atom, and keeps a small
+//!   model cache whose witnesses answer repeated satisfiable probes by
+//!   evaluation alone (sound: a verified model proves satisfiability).
+//! * [`SolverStats`] counts every request and what answered it, so the
+//!   query reduction is observable and assertable in tests.
+//!
+//! Every fast path returns *exactly* the verdict the batch procedure
+//! would: cached models and witness merges prove satisfiability (batch
+//! `Unsat` is impossible for a satisfied list, because propagation and
+//! component enumeration are sound), the propagation shortcut mirrors the
+//! batch assert loop operation-for-operation, and memoised verdicts come
+//! from the deterministic batch tail itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bolt_expr::{BinOp, SymId, Term, TermPool, TermRef, UnOp, Width};
 use rand::rngs::SmallRng;
@@ -81,6 +103,46 @@ impl SolveResult {
     }
 }
 
+/// Counters describing how feasibility requests were answered. The
+/// pre-incremental baseline issued one full solver query per request, so
+/// `checks_requested / solver_queries` is the query-reduction factor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Feasibility/check requests made by callers.
+    pub checks_requested: u64,
+    /// Full decision-procedure executions (propagation fixpoint +
+    /// component enumeration, plus randomized completion for batch
+    /// checks). Each costs roughly one pre-incremental `check()`.
+    pub solver_queries: u64,
+    /// Randomized completion searches actually run (the expensive part of
+    /// a batch query; pure feasibility checks never need it).
+    pub completion_searches: u64,
+    /// Requests answered by a contradiction found while asserting a
+    /// single atom against saved propagation state.
+    pub unsat_by_propagation: u64,
+    /// Requests answered by the exact-constraint-list memo.
+    pub memo_hits: u64,
+    /// Requests answered by evaluating a cached model (witness reuse).
+    pub witness_reuse_hits: u64,
+}
+
+impl SolverStats {
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, o: &SolverStats) {
+        self.checks_requested += o.checks_requested;
+        self.solver_queries += o.solver_queries;
+        self.completion_searches += o.completion_searches;
+        self.unsat_by_propagation += o.unsat_by_propagation;
+        self.memo_hits += o.memo_hits;
+        self.witness_reuse_hits += o.witness_reuse_hits;
+    }
+
+    /// Requests answered without running the decision procedure.
+    pub fn shortcuts(&self) -> u64 {
+        self.unsat_by_propagation + self.memo_hits + self.witness_reuse_hits
+    }
+}
+
 /// Per-symbol interval domain (inclusive bounds within the symbol width).
 #[derive(Clone, Copy, Debug)]
 struct Interval {
@@ -122,9 +184,11 @@ impl Default for Solver {
     }
 }
 
-/// Internal propagation state.
-struct Propagator<'p> {
-    pool: &'p TermPool,
+/// Internal propagation state. Holds no pool reference so that an
+/// incremental [`SolverCtx`] can keep it alive while the caller keeps
+/// appending terms to the pool; every method takes the pool explicitly.
+#[derive(Clone, Debug, Default)]
+struct Propagator {
     /// Union-find parent pointers over symbols that must be equal.
     parent: HashMap<SymId, SymId>,
     /// Constant binding of each representative.
@@ -138,17 +202,9 @@ struct Propagator<'p> {
     contradiction: bool,
 }
 
-impl<'p> Propagator<'p> {
-    fn new(pool: &'p TermPool) -> Self {
-        Propagator {
-            pool,
-            parent: HashMap::new(),
-            bound: HashMap::new(),
-            interval: HashMap::new(),
-            residual: Vec::new(),
-            diseq: Vec::new(),
-            contradiction: false,
-        }
+impl Propagator {
+    fn new() -> Self {
+        Self::default()
     }
 
     fn find(&mut self, s: SymId) -> SymId {
@@ -161,40 +217,40 @@ impl<'p> Propagator<'p> {
         r
     }
 
-    fn union(&mut self, a: SymId, b: SymId) {
+    fn union(&mut self, pool: &TermPool, a: SymId, b: SymId) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return;
         }
         self.parent.insert(rb, ra);
         if let Some(v) = self.bound.remove(&rb) {
-            self.bind(ra, v);
+            self.bind(pool, ra, v);
         }
         if let Some(i) = self.interval.remove(&rb) {
-            self.narrow(ra, i.lo, i.hi);
+            self.narrow(pool, ra, i.lo, i.hi);
         }
     }
 
-    fn iv(&mut self, s: SymId) -> Interval {
-        let w = self.pool.sym_width(s);
+    fn iv(&mut self, pool: &TermPool, s: SymId) -> Interval {
+        let w = pool.sym_width(s);
         *self.interval.entry(s).or_insert_with(|| Interval::full(w))
     }
 
-    fn bind(&mut self, s: SymId, v: u64) {
+    fn bind(&mut self, pool: &TermPool, s: SymId, v: u64) {
         let r = self.find(s);
         match self.bound.get(&r) {
             Some(&old) if old != v => self.contradiction = true,
             Some(_) => {}
             None => {
                 self.bound.insert(r, v);
-                self.narrow(r, v, v);
+                self.narrow(pool, r, v, v);
             }
         }
     }
 
-    fn narrow(&mut self, s: SymId, lo: u64, hi: u64) {
+    fn narrow(&mut self, pool: &TermPool, s: SymId, lo: u64, hi: u64) {
         let r = self.find(s);
-        let mut iv = self.iv(r);
+        let mut iv = self.iv(pool, r);
         iv.lo = iv.lo.max(lo);
         iv.hi = iv.hi.min(hi);
         if iv.is_empty() {
@@ -219,71 +275,71 @@ impl<'p> Propagator<'p> {
     }
 
     /// Evaluate a term if it is fully determined by current bindings.
-    fn partial_eval(&mut self, t: TermRef) -> Option<u64> {
-        match *self.pool.get(t) {
+    fn partial_eval(&mut self, pool: &TermPool, t: TermRef) -> Option<u64> {
+        match *pool.get(t) {
             Term::Const { value, .. } => Some(value),
             Term::Sym { id, .. } => self.value_of(id),
             Term::Unop { op, a } => {
-                let w = self.pool.width(a);
-                self.partial_eval(a).map(|v| op.apply(v, w))
+                let w = pool.width(a);
+                self.partial_eval(pool, a).map(|v| op.apply(v, w))
             }
             Term::Binop { op, a, b } => {
-                let w = self.pool.width(a);
-                let va = self.partial_eval(a)?;
-                let vb = self.partial_eval(b)?;
+                let w = pool.width(a);
+                let va = self.partial_eval(pool, a)?;
+                let vb = self.partial_eval(pool, b)?;
                 Some(op.apply(va, vb, w))
             }
             Term::Ite { c, t: tt, e } => {
-                let vc = self.partial_eval(c)?;
+                let vc = self.partial_eval(pool, c)?;
                 if vc != 0 {
-                    self.partial_eval(tt)
+                    self.partial_eval(pool, tt)
                 } else {
-                    self.partial_eval(e)
+                    self.partial_eval(pool, e)
                 }
             }
-            Term::Zext { a, .. } => self.partial_eval(a),
-            Term::Trunc { a, width } => self.partial_eval(a).map(|v| v & width.mask()),
+            Term::Zext { a, .. } => self.partial_eval(pool, a),
+            Term::Trunc { a, width } => self.partial_eval(pool, a).map(|v| v & width.mask()),
         }
     }
 
     /// Assert an atom (a width-1 term) with the given polarity, absorbing
     /// what we can into bindings/intervals; the rest goes to `residual`.
-    fn assert_atom(&mut self, t: TermRef, polarity: bool) {
+    fn assert_atom(&mut self, pool: &TermPool, t: TermRef, polarity: bool) {
         if self.contradiction {
             return;
         }
-        if let Some(v) = self.partial_eval(t) {
+        if let Some(v) = self.partial_eval(pool, t) {
             if (v != 0) != polarity {
                 self.contradiction = true;
             }
             return;
         }
-        match *self.pool.get(t) {
-            Term::Unop { op: UnOp::Not, a } => self.assert_atom(a, !polarity),
+        match *pool.get(t) {
+            Term::Unop { op: UnOp::Not, a } => self.assert_atom(pool, a, !polarity),
             Term::Sym {
                 id,
                 width: Width::W1,
             } => {
-                self.bind(id, polarity as u64);
+                self.bind(pool, id, polarity as u64);
             }
             Term::Binop {
                 op: BinOp::And,
                 a,
                 b,
             } if polarity => {
-                self.assert_atom(a, true);
-                self.assert_atom(b, true);
+                self.assert_atom(pool, a, true);
+                self.assert_atom(pool, b, true);
             }
             Term::Binop {
                 op: BinOp::Or,
                 a,
                 b,
             } if !polarity => {
-                self.assert_atom(a, false);
-                self.assert_atom(b, false);
+                self.assert_atom(pool, a, false);
+                self.assert_atom(pool, b, false);
             }
             Term::Binop { op, a, b } => {
-                if !self.assert_comparison(op, a, b, polarity) {
+                if !self.assert_comparison(pool, op, a, b, polarity) {
                     self.residual.push((t, polarity));
                 }
             }
@@ -292,7 +348,14 @@ impl<'p> Propagator<'p> {
     }
 
     /// Try to absorb a comparison into the domain; returns whether handled.
-    fn assert_comparison(&mut self, op: BinOp, a: TermRef, b: TermRef, pol: bool) -> bool {
+    fn assert_comparison(
+        &mut self,
+        pool: &TermPool,
+        op: BinOp,
+        a: TermRef,
+        b: TermRef,
+        pol: bool,
+    ) -> bool {
         // Normalise negated comparisons.
         let (op, a, b) = match (op, pol) {
             (BinOp::Eq, true) | (BinOp::Ne, false) => (BinOp::Eq, a, b),
@@ -303,22 +366,22 @@ impl<'p> Propagator<'p> {
             (BinOp::Ule, false) => (BinOp::Ult, b, a), // !(a<=b) ⇔  b<a
             _ => return false,
         };
-        let sym_a = self.as_sym(a);
-        let sym_b = self.as_sym(b);
-        let val_a = self.partial_eval(a);
-        let val_b = self.partial_eval(b);
+        let sym_a = Self::as_sym(pool, a);
+        let sym_b = Self::as_sym(pool, b);
+        let val_a = self.partial_eval(pool, a);
+        let val_b = self.partial_eval(pool, b);
         match op {
             BinOp::Eq => match (sym_a, val_a, sym_b, val_b) {
                 (Some(x), _, _, Some(v)) => {
-                    self.bind(x, v);
+                    self.bind(pool, x, v);
                     true
                 }
                 (_, Some(v), Some(y), _) => {
-                    self.bind(y, v);
+                    self.bind(pool, y, v);
                     true
                 }
                 (Some(x), _, Some(y), _) => {
-                    self.union(x, y);
+                    self.union(pool, x, y);
                     true
                 }
                 _ => false,
@@ -327,13 +390,13 @@ impl<'p> Propagator<'p> {
                 (Some(x), _, _, Some(v)) | (_, Some(v), Some(x), _) => {
                     let r = self.find(x);
                     self.diseq.push((r, v));
-                    let iv = self.iv(r);
+                    let iv = self.iv(pool, r);
                     if iv.lo == iv.hi && iv.lo == v {
                         self.contradiction = true;
                     } else if iv.lo == v {
-                        self.narrow(r, v + 1, iv.hi);
+                        self.narrow(pool, r, v + 1, iv.hi);
                     } else if iv.hi == v {
-                        self.narrow(r, iv.lo, v - 1);
+                        self.narrow(pool, r, iv.lo, v - 1);
                     }
                     true
                 }
@@ -344,16 +407,16 @@ impl<'p> Propagator<'p> {
                     if v == 0 {
                         self.contradiction = true;
                     } else {
-                        self.narrow(x, 0, v - 1);
+                        self.narrow(pool, x, 0, v - 1);
                     }
                     true
                 }
                 (_, Some(v), Some(y), _) => {
-                    let w = self.pool.sym_width(y);
+                    let w = pool.sym_width(y);
                     if v >= w.mask() {
                         self.contradiction = true;
                     } else {
-                        self.narrow(y, v + 1, w.mask());
+                        self.narrow(pool, y, v + 1, w.mask());
                     }
                     true
                 }
@@ -361,12 +424,12 @@ impl<'p> Propagator<'p> {
             },
             BinOp::Ule => match (sym_a, val_a, sym_b, val_b) {
                 (Some(x), _, _, Some(v)) => {
-                    self.narrow(x, 0, v);
+                    self.narrow(pool, x, 0, v);
                     true
                 }
                 (_, Some(v), Some(y), _) => {
-                    let w = self.pool.sym_width(y);
-                    self.narrow(y, v, w.mask());
+                    let w = pool.sym_width(y);
+                    self.narrow(pool, y, v, w.mask());
                     true
                 }
                 _ => false,
@@ -375,12 +438,25 @@ impl<'p> Propagator<'p> {
         }
     }
 
-    fn as_sym(&self, t: TermRef) -> Option<SymId> {
-        match *self.pool.get(t) {
+    fn as_sym(pool: &TermPool, t: TermRef) -> Option<SymId> {
+        match *pool.get(t) {
             Term::Sym { id, .. } => Some(id),
             _ => None,
         }
     }
+}
+
+/// How far [`Solver::finish`] must go.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Finish {
+    /// The full batch procedure, including randomized completion — the
+    /// exact behaviour of the original `check()`.
+    Full,
+    /// Feasibility classification only: identical `Unsat` detection
+    /// (fixpoint, forced evaluation, component enumeration), but skip
+    /// the completion search — its only contribution is upgrading
+    /// `Unknown` to `Sat`, which feasibility callers don't distinguish.
+    Feasibility,
 }
 
 impl Solver {
@@ -391,20 +467,50 @@ impl Solver {
 
     /// Decide the conjunction of `constraints` (each a width-1 term).
     pub fn check(&self, pool: &TermPool, constraints: &[TermRef]) -> SolveResult {
-        let mut prop = Propagator::new(pool);
+        let mut prop = Propagator::new();
         for &c in constraints {
-            prop.assert_atom(c, true);
+            prop.assert_atom(pool, c, true);
             if prop.contradiction {
                 return SolveResult::Unsat;
             }
         }
+        self.finish(pool, constraints, prop, Finish::Full, None)
+    }
+
+    /// Conservative feasibility: `true` unless definitively unsatisfiable.
+    /// Runs the same `Unsat` detection as [`Solver::check`] but skips the
+    /// randomized completion search (whose verdicts are never `Unsat`).
+    pub fn is_feasible(&self, pool: &TermPool, constraints: &[TermRef]) -> bool {
+        let mut prop = Propagator::new();
+        for &c in constraints {
+            prop.assert_atom(pool, c, true);
+            if prop.contradiction {
+                return false;
+            }
+        }
+        self.finish(pool, constraints, prop, Finish::Feasibility, None)
+            .possibly_sat()
+    }
+
+    /// The decision-procedure tail: runs after all constraints have been
+    /// asserted (in order) into `prop`. Shared verbatim by the batch API
+    /// and the incremental [`SolverCtx`], which is what keeps their
+    /// verdicts bit-identical.
+    fn finish(
+        &self,
+        pool: &TermPool,
+        constraints: &[TermRef],
+        mut prop: Propagator,
+        mode: Finish,
+        stats: Option<&mut SolverStats>,
+    ) -> SolveResult {
         // Fixpoint: re-assert residual atoms whose operands may have since
         // become evaluable (e.g. chained equalities asserted out of order).
         loop {
             let atoms = std::mem::take(&mut prop.residual);
             let before = atoms.len();
             for (t, pol) in atoms {
-                prop.assert_atom(t, pol);
+                prop.assert_atom(pool, t, pol);
             }
             if prop.contradiction {
                 return SolveResult::Unsat;
@@ -426,12 +532,13 @@ impl Solver {
         // range over 32-bit fields.
         let bound_pairs: Vec<(SymId, u64)> = prop.bound.iter().map(|(&r, &v)| (r, v)).collect();
         {
-            // Free-symbol support of each constraint.
+            // Free-symbol support of each constraint (the per-term symbol
+            // support is cached in the pool; only the representative
+            // mapping is computed here).
             let supports: Vec<Vec<SymId>> = constraints
                 .iter()
                 .map(|&c| {
-                    let reps: Vec<SymId> =
-                        pool.syms_of(c).into_iter().map(|s| prop.find(s)).collect();
+                    let reps: Vec<SymId> = pool.syms_of(c).iter().map(|&s| prop.find(s)).collect();
                     let mut v: Vec<SymId> = reps
                         .into_iter()
                         .filter(|r| !prop.bound.contains_key(r))
@@ -452,7 +559,7 @@ impl Solver {
                 if sup.is_empty() {
                     let c = constraints[ci];
                     let mut w = forced.clone();
-                    for s in pool.syms_of(c) {
+                    for &s in pool.syms_of(c) {
                         let r = prop.find(s);
                         let v = w.get(r);
                         w.set(s, v);
@@ -518,7 +625,7 @@ impl Solver {
                 let domain: u128 = syms
                     .iter()
                     .map(|&r| {
-                        let iv = prop.iv(r);
+                        let iv = prop.iv(pool, r);
                         (iv.hi - iv.lo) as u128 + 1
                     })
                     .product();
@@ -527,7 +634,7 @@ impl Solver {
                     continue;
                 }
                 let group_terms: Vec<TermRef> = group.iter().map(|&ci| constraints[ci]).collect();
-                let intervals: Vec<Interval> = syms.iter().map(|&r| prop.iv(r)).collect();
+                let intervals: Vec<Interval> = syms.iter().map(|&r| prop.iv(pool, r)).collect();
                 let mut assignment: Vec<u64> = intervals.iter().map(|iv| iv.lo).collect();
                 let mut found = false;
                 'enumerate: loop {
@@ -540,7 +647,7 @@ impl Solver {
                     }
                     // Member symbols of enumerated/bound representatives.
                     for &c in &group_terms {
-                        for s in pool.syms_of(c) {
+                        for &s in pool.syms_of(c) {
                             let r = prop.find(s);
                             let v = w.get(r);
                             w.set(s, v);
@@ -575,7 +682,7 @@ impl Solver {
                 // merge, extend to members, and verify.
                 let mut w = partial.clone();
                 for &c in constraints {
-                    for s in pool.syms_of(c) {
+                    for &s in pool.syms_of(c) {
                         let r = prop.find(s);
                         let v = w.get(r);
                         w.set(s, v);
@@ -585,6 +692,16 @@ impl Solver {
                     return SolveResult::Sat(w);
                 }
             }
+        }
+
+        // Feasibility callers stop here: completion can only upgrade
+        // Unknown to Sat, never produce Unsat, so the classification they
+        // care about is already decided.
+        if mode == Finish::Feasibility {
+            return SolveResult::Unknown;
+        }
+        if let Some(s) = stats {
+            s.completion_searches += 1;
         }
 
         // Completion: every sym in the pool gets a value.
@@ -607,7 +724,7 @@ impl Solver {
                 let v = if let Some(v) = prop.bound.get(&r).copied() {
                     v
                 } else {
-                    let iv = prop.iv(r);
+                    let iv = prop.iv(pool, r);
                     let v = match trial {
                         0 => iv.lo,
                         1 => iv.hi,
@@ -653,11 +770,11 @@ impl Solver {
                     } = *pool.get(t)
                     {
                         if pol {
-                            if let Some(x) = prop.as_sym(a) {
+                            if let Some(x) = Propagator::as_sym(pool, a) {
                                 let v = w.eval(pool, b);
                                 w.set(x, v);
                                 repaired = true;
-                            } else if let Some(y) = prop.as_sym(b) {
+                            } else if let Some(y) = Propagator::as_sym(pool, b) {
                                 let v = w.eval(pool, a);
                                 w.set(y, v);
                                 repaired = true;
@@ -675,10 +792,405 @@ impl Solver {
         }
         SolveResult::Unknown
     }
+}
 
-    /// Conservative feasibility: `true` unless definitively unsatisfiable.
-    pub fn is_feasible(&self, pool: &TermPool, constraints: &[TermRef]) -> bool {
-        self.check(pool, constraints).possibly_sat()
+/// Shared feasibility caches for one exploration / composition session:
+/// an exact-constraint-list memo, a per-atom satisfiability cache, and a
+/// bounded model cache for witness reuse. All entries key on interned
+/// [`TermRef`]s, so the cache is only meaningful with the pool it was
+/// built against.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    /// Ordered constraint list (raw term indices) → feasibility verdict.
+    list_memo: HashMap<Box<[u32]>, bool>,
+    /// Atom → witness satisfying the atom alone (`None`: no usable
+    /// witness — the atom alone was Unsat or Unknown).
+    atom_memo: HashMap<u32, Option<Witness>>,
+    /// Recently discovered models, reused to answer satisfiable probes.
+    models: Vec<Witness>,
+    next_model: usize,
+    /// Counters for everything routed through this cache.
+    pub stats: SolverStats,
+}
+
+/// Cached models kept for witness reuse.
+const MODEL_CACHE_CAP: usize = 16;
+
+impl SolverCache {
+    /// Fresh, empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_model(&mut self, w: Witness) {
+        if self.models.len() < MODEL_CACHE_CAP {
+            self.models.push(w);
+        } else {
+            self.models[self.next_model] = w;
+            self.next_model = (self.next_model + 1) % MODEL_CACHE_CAP;
+        }
+    }
+}
+
+/// Snapshot for [`SolverCtx::push`]/[`SolverCtx::pop`].
+#[derive(Debug)]
+struct Frame {
+    prop: Propagator,
+    n_constraints: usize,
+    known_syms: HashSet<SymId>,
+    cur_witness: Option<Witness>,
+}
+
+/// An incremental solving context: a constraint prefix asserted once,
+/// with saved propagation state, checkpoints, and a current model.
+///
+/// Invariants: `prop` is exactly the state the batch solver would hold
+/// after asserting `constraints` in order (which is what makes
+/// [`SolverCtx::check`] bit-identical to [`Solver::check`]), and
+/// `cur_witness`, when present, is a verified model of `constraints`.
+#[derive(Debug)]
+pub struct SolverCtx {
+    solver: Solver,
+    prop: Propagator,
+    constraints: Vec<TermRef>,
+    /// Symbols occurring in any asserted constraint (for the
+    /// disjoint-support witness merge).
+    known_syms: HashSet<SymId>,
+    /// A verified model of the current constraint list, when one is known.
+    cur_witness: Option<Witness>,
+    frames: Vec<Frame>,
+}
+
+impl SolverCtx {
+    /// New empty context using `solver`'s limits and seed.
+    pub fn new(solver: &Solver) -> Self {
+        SolverCtx {
+            solver: solver.clone(),
+            prop: Propagator::new(),
+            constraints: Vec::new(),
+            known_syms: HashSet::new(),
+            cur_witness: Some(Witness::default()),
+            frames: Vec::new(),
+        }
+    }
+
+    /// The asserted constraint list, in assertion order.
+    pub fn constraints(&self) -> &[TermRef] {
+        &self.constraints
+    }
+
+    /// The current verified model of the constraint list, if one is known.
+    pub fn model(&self) -> Option<&Witness> {
+        self.cur_witness.as_ref()
+    }
+
+    /// Install a candidate model; kept only if it actually satisfies the
+    /// current constraint list (the invariant every fast path relies on).
+    pub fn install_model(&mut self, pool: &TermPool, w: Witness) {
+        if w.satisfies(pool, &self.constraints) {
+            self.cur_witness = Some(w);
+        }
+    }
+
+    /// Number of open checkpoints.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Assert one constraint on top of the current state (the incremental
+    /// analogue of appending to the batch constraint list).
+    pub fn assert_term(&mut self, pool: &TermPool, t: TermRef) {
+        // Keep the current model alive across the new constraint: verify
+        // it, and for one-sided equations over a previously-unconstrained
+        // symbol (the shape data-structure models emit from `assume`),
+        // repair the model by assigning the symbol its forced value. The
+        // repair cannot disturb earlier constraints — the symbol occurs
+        // in none of them — and is verified before being kept.
+        if let Some(w) = &mut self.cur_witness {
+            if w.eval(pool, t) != 1 {
+                let mut repaired = false;
+                if let Term::Binop {
+                    op: BinOp::Eq,
+                    a,
+                    b,
+                } = *pool.get(t)
+                {
+                    for (s_side, e_side) in [(a, b), (b, a)] {
+                        if let Term::Sym { id, .. } = *pool.get(s_side) {
+                            if !self.known_syms.contains(&id) {
+                                let v = w.eval(pool, e_side);
+                                w.set(id, v);
+                                if w.eval(pool, t) == 1 {
+                                    repaired = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !repaired {
+                    self.cur_witness = None;
+                }
+            }
+        }
+        self.constraints.push(t);
+        self.prop.assert_atom(pool, t, true);
+        self.known_syms.extend(pool.syms_of(t).iter().copied());
+    }
+
+    /// Save a checkpoint of the full propagation state.
+    pub fn push(&mut self) {
+        self.frames.push(Frame {
+            prop: self.prop.clone(),
+            n_constraints: self.constraints.len(),
+            known_syms: self.known_syms.clone(),
+            cur_witness: self.cur_witness.clone(),
+        });
+    }
+
+    /// Restore the most recent checkpoint.
+    pub fn pop(&mut self) {
+        let f = self.frames.pop().expect("pop without matching push");
+        self.prop = f.prop;
+        self.constraints.truncate(f.n_constraints);
+        self.known_syms = f.known_syms;
+        self.cur_witness = f.cur_witness;
+    }
+
+    fn memo_key(&self, extra: Option<TermRef>) -> Box<[u32]> {
+        let mut key: Vec<u32> = self.constraints.iter().map(|c| c.index() as u32).collect();
+        if let Some(e) = extra {
+            key.push(e.index() as u32);
+        }
+        key.into_boxed_slice()
+    }
+
+    /// Witness satisfying `atom` alone, solved once per atom and cached.
+    /// Atoms fully absorbed by propagation (single comparisons — the
+    /// overwhelmingly common branch-condition shape) are answered by
+    /// reading the propagated domain back, with no search at all.
+    fn atom_witness(
+        solver: &Solver,
+        pool: &TermPool,
+        cache: &mut SolverCache,
+        atom: TermRef,
+    ) -> Option<Witness> {
+        let k = atom.index() as u32;
+        if let Some(w) = cache.atom_memo.get(&k) {
+            return w.clone();
+        }
+        let mut prop = Propagator::new();
+        prop.assert_atom(pool, atom, true);
+        let mut w = None;
+        if !prop.contradiction && prop.residual.is_empty() {
+            // Fully absorbed: every support symbol has a consistent
+            // domain; the trial-0 assignment (bound value or interval
+            // low, nudged off recorded disequalities) is a model if one
+            // exists. Verified before use, so this stays sound.
+            let mut cand = Witness::default();
+            for &s in pool.syms_of(atom) {
+                let r = prop.find(s);
+                let v = if let Some(&v) = prop.bound.get(&r) {
+                    v
+                } else {
+                    let iv = prop.iv(pool, r);
+                    let v = iv.lo;
+                    if prop.diseq.iter().any(|&(ds, dv)| ds == r && dv == v) && v < iv.hi {
+                        v + 1
+                    } else {
+                        v
+                    }
+                };
+                cand.set(r, v);
+            }
+            for &s in pool.syms_of(atom) {
+                let r = prop.find(s);
+                let v = cand.get(r);
+                cand.set(s, v);
+            }
+            if cand.eval(pool, atom) == 1 {
+                w = Some(cand);
+            }
+        }
+        if w.is_none() && !prop.contradiction {
+            // Residual or oddly-shaped atom: run the real procedure once.
+            cache.stats.solver_queries += 1;
+            let res = solver.finish(pool, &[atom], prop, Finish::Full, Some(&mut cache.stats));
+            if let SolveResult::Sat(got) = res {
+                w = Some(got);
+            }
+        }
+        cache.atom_memo.insert(k, w.clone());
+        w
+    }
+
+    /// Feasibility of `constraints + [extra]`, decided against the saved
+    /// prefix state with a single push/pop. Returns exactly the verdict
+    /// the batch `is_feasible` would.
+    pub fn probe_feasible(
+        &mut self,
+        pool: &TermPool,
+        cache: &mut SolverCache,
+        extra: TermRef,
+    ) -> bool {
+        cache.stats.checks_requested += 1;
+        // 1. The current model already satisfies the extra atom: the
+        //    extended list is satisfied by a verified witness.
+        if let Some(w) = &self.cur_witness {
+            if w.eval(pool, extra) == 1 {
+                cache.stats.witness_reuse_hits += 1;
+                return true;
+            }
+        }
+        // 2. Exact-list memo (identical ordered probe seen before).
+        let key = self.memo_key(Some(extra));
+        if let Some(&f) = cache.list_memo.get(&key) {
+            cache.stats.memo_hits += 1;
+            return f;
+        }
+        // 3. No live model (scheduled replays assert their prefix without
+        //    probing, which usually kills the initial all-zeros model):
+        //    revive one from the cache. A model satisfying the whole
+        //    extended list answers immediately; one satisfying just the
+        //    prefix re-arms the merge path below.
+        if self.cur_witness.is_none() {
+            let mut prefix_model = None;
+            for i in 0..cache.models.len() {
+                let m = &cache.models[i];
+                if self.constraints.iter().all(|&c| m.eval(pool, c) == 1) {
+                    if m.eval(pool, extra) == 1 {
+                        let w = m.clone();
+                        cache.stats.witness_reuse_hits += 1;
+                        cache.list_memo.insert(key, true);
+                        self.cur_witness = Some(w);
+                        return true;
+                    }
+                    if prefix_model.is_none() {
+                        prefix_model = Some(m.clone());
+                    }
+                }
+            }
+            self.cur_witness = prefix_model;
+        }
+        // 4. Disjoint-support merge: the atom touches only symbols no
+        //    current constraint mentions, so a witness of the atom alone
+        //    extends the current model without disturbing it.
+        if self.cur_witness.is_some() {
+            let syms = pool.syms_of(extra);
+            if !syms.is_empty() && syms.iter().all(|s| !self.known_syms.contains(s)) {
+                if let Some(wa) = Self::atom_witness(&self.solver, pool, cache, extra) {
+                    let mut w = self.cur_witness.clone().unwrap();
+                    for &s in syms {
+                        w.set(s, wa.get(s));
+                    }
+                    cache.stats.witness_reuse_hits += 1;
+                    cache.list_memo.insert(key, true);
+                    self.cur_witness = Some(w.clone());
+                    cache.push_model(w);
+                    return true;
+                }
+            }
+        }
+        // 5/6. One-atom push against saved state, then the shared tail:
+        //      propagation contradiction answers immediately, otherwise
+        //      the decision procedure runs from the saved state (no
+        //      replay). Any model found is carried past the pop — it
+        //      satisfies prefix + extra, hence the prefix too.
+        self.push();
+        self.assert_term(pool, extra);
+        // `key` (prefix + extra) is exactly this frame's constraint list.
+        let feasible = self.decide_current(pool, cache, key);
+        let carried = if feasible {
+            self.cur_witness.take()
+        } else {
+            None
+        };
+        self.pop();
+        if let Some(w) = carried {
+            self.cur_witness = Some(w);
+        }
+        feasible
+    }
+
+    /// Feasibility of the current constraint list (the final whole-path
+    /// check). Same cascade as [`SolverCtx::probe_feasible`].
+    pub fn current_feasible(&mut self, pool: &TermPool, cache: &mut SolverCache) -> bool {
+        cache.stats.checks_requested += 1;
+        let key = self.memo_key(None);
+        self.decide_current(pool, cache, key)
+    }
+
+    /// Shared tail of the decision cascade for the *current* constraint
+    /// list: memo lookup → model revival → saved-state contradiction →
+    /// full procedure from saved state (with completion, so a model comes
+    /// back for future witness reuse). Verdict is memoised under `key`.
+    fn decide_current(
+        &mut self,
+        pool: &TermPool,
+        cache: &mut SolverCache,
+        key: Box<[u32]>,
+    ) -> bool {
+        // A live model (e.g. kept alive by assert_term's verified repair)
+        // already proves the current list satisfiable.
+        if self.cur_witness.is_some() {
+            cache.stats.witness_reuse_hits += 1;
+            cache.list_memo.insert(key, true);
+            return true;
+        }
+        if let Some(&f) = cache.list_memo.get(&key) {
+            cache.stats.memo_hits += 1;
+            return f;
+        }
+        {
+            for i in 0..cache.models.len() {
+                if self
+                    .constraints
+                    .iter()
+                    .all(|&c| cache.models[i].eval(pool, c) == 1)
+                {
+                    let w = cache.models[i].clone();
+                    cache.stats.witness_reuse_hits += 1;
+                    cache.list_memo.insert(key, true);
+                    self.cur_witness = Some(w);
+                    return true;
+                }
+            }
+        }
+        let feasible = if self.prop.contradiction {
+            cache.stats.unsat_by_propagation += 1;
+            false
+        } else {
+            cache.stats.solver_queries += 1;
+            let res = self.solver.finish(
+                pool,
+                &self.constraints,
+                self.prop.clone(),
+                Finish::Full,
+                Some(&mut cache.stats),
+            );
+            if let SolveResult::Sat(w) = &res {
+                cache.push_model(w.clone());
+                self.cur_witness = Some(w.clone());
+            }
+            res.possibly_sat()
+        };
+        cache.list_memo.insert(key, feasible);
+        feasible
+    }
+
+    /// Full batch-equivalent decision of the current constraint list.
+    /// Bit-identical to `Solver::check(pool, self.constraints())`.
+    pub fn check(&self, pool: &TermPool) -> SolveResult {
+        if self.prop.contradiction {
+            return SolveResult::Unsat;
+        }
+        self.solver.finish(
+            pool,
+            &self.constraints,
+            self.prop.clone(),
+            Finish::Full,
+            None,
+        )
     }
 }
 
@@ -904,5 +1416,116 @@ mod tests {
         let nlt = p.not(lt);
         let le4 = p.ule(x, four);
         assert_eq!(solver().check(&p, &[nlt, le4]), SolveResult::Unsat);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental context
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ctx_check_matches_batch() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W16);
+        let y = p.fresh_sym("y", Width::W16);
+        let c1 = p.constant(7, Width::W16);
+        let eq = p.eq(x, c1);
+        let lim = p.constant(100, Width::W16);
+        let lt = p.ult(y, lim);
+        let link = p.eq(x, y);
+        let cs = [eq, lt, link];
+        let s = solver();
+        let mut ctx = SolverCtx::new(&s);
+        for &c in &cs {
+            ctx.assert_term(&p, c);
+        }
+        assert_eq!(ctx.check(&p), s.check(&p, &cs));
+    }
+
+    #[test]
+    fn push_pop_restores_state() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W8);
+        let c5 = p.constant(5, Width::W8);
+        let lt = p.ult(x, c5);
+        let ge = p.ule(c5, x);
+        let s = solver();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        ctx.assert_term(&p, lt);
+        // Probe the contradictory extension, then check the prefix again.
+        assert!(!ctx.probe_feasible(&p, &mut cache, ge));
+        assert_eq!(ctx.depth(), 0, "probe leaves no open frame");
+        assert!(ctx.current_feasible(&p, &mut cache));
+        assert_eq!(ctx.constraints(), &[lt]);
+    }
+
+    #[test]
+    fn probe_matches_batch_classification() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W16);
+        let y = p.fresh_sym("y", Width::W16);
+        let c10 = p.constant(10, Width::W16);
+        let c20 = p.constant(20, Width::W16);
+        let base = vec![p.ule(c10, x), p.ult(x, c20)];
+        let probes = vec![
+            p.eq(y, c10),
+            p.ult(x, c10), // contradicts the prefix
+            p.eq(x, y),
+            p.ne(x, x), // constant false
+        ];
+        let s = solver();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        for &c in &base {
+            ctx.assert_term(&p, c);
+        }
+        for &atom in &probes {
+            let mut full = base.clone();
+            full.push(atom);
+            assert_eq!(
+                ctx.probe_feasible(&p, &mut cache, atom),
+                s.is_feasible(&p, &full),
+                "probe diverged from batch on {}",
+                p.display(atom)
+            );
+        }
+    }
+
+    #[test]
+    fn memo_answers_repeated_probes() {
+        let mut p = TermPool::new();
+        let x = p.fresh_sym("x", Width::W32);
+        let c = p.constant(3, Width::W32);
+        let ne = p.ne(x, c);
+        let s = solver();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        ctx.assert_term(&p, ne);
+        // Two walks over the same prefix issue the identical probe.
+        let atom = p.eq(x, c);
+        let first = ctx.probe_feasible(&p, &mut cache, atom);
+        let before = cache.stats.solver_queries + cache.stats.unsat_by_propagation;
+        let second = ctx.probe_feasible(&p, &mut cache, atom);
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats.solver_queries + cache.stats.unsat_by_propagation,
+            before,
+            "repeat probe must be answered from the caches"
+        );
+    }
+
+    #[test]
+    fn feasibility_skips_completion() {
+        let mut p = TermPool::new();
+        let a = p.fresh_sym("a", Width::W8);
+        let b = p.fresh_sym("b", Width::W8);
+        let sum = p.add(a, b);
+        let c10 = p.constant(10, Width::W8);
+        let eq = p.eq(sum, c10);
+        // Batch feasibility agrees with batch check classification.
+        assert_eq!(
+            solver().is_feasible(&p, &[eq]),
+            solver().check(&p, &[eq]).possibly_sat()
+        );
     }
 }

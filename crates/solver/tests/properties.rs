@@ -1,9 +1,51 @@
 //! Property-based tests: every Sat verdict must carry a genuine witness,
-//! and crafted contradictions must never come back Sat.
+//! crafted contradictions must never come back Sat, and the incremental
+//! `SolverCtx` push/pop path must classify exactly like batch `check()`.
 
-use bolt_expr::{TermPool, Width};
-use bolt_solver::{SolveResult, Solver};
+use bolt_expr::{TermPool, TermRef, Width};
+use bolt_solver::{SolveResult, Solver, SolverCache, SolverCtx};
 use proptest::prelude::*;
+
+/// Build a random conjunction over three 8-bit symbols from a compact
+/// op encoding, mixing absorbable comparisons, negations, cross-symbol
+/// links, and residual-shaped arithmetic atoms.
+fn random_conjunction(p: &mut TermPool, spec: &[(u8, u8, u8)]) -> Vec<TermRef> {
+    let syms = [
+        p.fresh_sym("x", Width::W8),
+        p.fresh_sym("y", Width::W8),
+        p.fresh_sym("z", Width::W8),
+    ];
+    let mut cs = Vec::new();
+    for &(op, s, v) in spec {
+        let a = syms[(s % 3) as usize];
+        let b = syms[((s / 3) % 3) as usize];
+        let k = p.constant(v as u64, Width::W8);
+        let atom = match op % 8 {
+            0 => p.eq(a, k),
+            1 => p.ne(a, k),
+            2 => p.ult(a, k),
+            3 => p.ule(k, a),
+            4 => p.eq(a, b),
+            5 => {
+                let lt = p.ult(a, k);
+                p.not(lt)
+            }
+            6 => {
+                // Residual shape: a + b == v.
+                let sum = p.add(a, b);
+                p.eq(sum, k)
+            }
+            _ => {
+                let c1 = p.eq(a, k);
+                let c2 = p.ne(b, k);
+                p.and(c1, c2)
+            }
+        };
+        // Constant-folded atoms (e.g. x == x) are legal constraints too.
+        cs.push(atom);
+    }
+    cs
+}
 
 proptest! {
     /// Random conjunctions of interval constraints over two symbols:
@@ -85,5 +127,65 @@ proptest! {
         let eq = p.eq(x, c);
         let ne = p.ne(x, c);
         prop_assert_eq!(Solver::default().check(&p, &[eq, ne]), SolveResult::Unsat);
+    }
+
+    /// The incremental context, fed the same conjunction constraint by
+    /// constraint, must return the *bit-identical* result of the batch
+    /// decision procedure — same class, same witness.
+    #[test]
+    fn incremental_check_equals_batch(
+        spec in proptest::collection::vec((0u8..8, 0u8..9, 0u8..20), 1..10),
+    ) {
+        let mut p = TermPool::new();
+        let cs = random_conjunction(&mut p, &spec);
+        let s = Solver::default();
+        let batch = s.check(&p, &cs);
+        if let SolveResult::Sat(w) = &batch {
+            prop_assert!(w.satisfies(&p, &cs), "batch witness must verify");
+        }
+        let mut ctx = SolverCtx::new(&s);
+        for &c in &cs {
+            ctx.assert_term(&p, c);
+        }
+        prop_assert_eq!(ctx.check(&p), batch);
+    }
+
+    /// A push/pop probe must classify `prefix + [atom]` exactly as the
+    /// batch feasibility check does, every `Sat` witness en route must
+    /// verify, and popping must fully restore the prefix state.
+    #[test]
+    fn probe_equals_batch_on_extension(
+        spec in proptest::collection::vec((0u8..8, 0u8..9, 0u8..20), 1..8),
+        probe_spec in (0u8..8, 0u8..9, 0u8..20),
+    ) {
+        let mut p = TermPool::new();
+        let mut cs = random_conjunction(&mut p, &spec);
+        let atom = random_conjunction(&mut p, &[probe_spec]).pop().unwrap();
+        let s = Solver::default();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        for &c in &cs {
+            ctx.assert_term(&p, c);
+        }
+        let mut extended = cs.clone();
+        extended.push(atom);
+        // Probe twice: the second answer comes from the caches and must
+        // agree with the first (and with batch).
+        let batch_ext = s.is_feasible(&p, &extended);
+        prop_assert_eq!(ctx.probe_feasible(&p, &mut cache, atom), batch_ext);
+        prop_assert_eq!(ctx.probe_feasible(&p, &mut cache, atom), batch_ext);
+        prop_assert_eq!(ctx.depth(), 0);
+        prop_assert_eq!(ctx.constraints(), cs.as_slice());
+        // The popped context still decides the prefix exactly like batch.
+        prop_assert_eq!(ctx.check(&p), s.check(&p, &cs));
+        // And the model it may have installed is genuine.
+        if let Some(m) = ctx.model() {
+            prop_assert!(m.satisfies(&p, &cs), "installed model must verify");
+        }
+        // Committing the atom and re-checking matches batch on the
+        // extended list as well.
+        ctx.assert_term(&p, atom);
+        cs.push(atom);
+        prop_assert_eq!(ctx.check(&p), s.check(&p, &cs));
     }
 }

@@ -1,0 +1,43 @@
+//! Dump a deterministic fingerprint of every NF's exploration output:
+//! path count, per-path decisions, tags, verdicts, and (IC, MA) metrics.
+//! Used to verify that explorer/solver changes keep output bit-identical.
+
+use bolt::core::nf::NetworkFunction;
+use bolt::expr::PcvAssignment;
+use bolt::nfs::{nat, Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
+use bolt::see::StackLevel;
+use bolt::trace::Metric;
+
+fn dump<N: NetworkFunction>(name: &str, nf: N) {
+    for level in [StackLevel::NfOnly, StackLevel::FullStack] {
+        let contract = nf.explore(level).contract();
+        println!("== {name} {level:?}: {} paths", contract.paths().len());
+        let env = PcvAssignment::new();
+        for p in contract.paths() {
+            let ic = p.expr(Metric::Instructions).eval(&env);
+            let ma = p.expr(Metric::MemAccesses).eval(&env);
+            let cy = p.expr(Metric::Cycles).eval(&env);
+            println!(
+                "  {} tags={:?} verdict={:?} ic={ic} ma={ma} cy={cy}",
+                p.index, p.tags, p.verdict
+            );
+        }
+    }
+}
+
+fn main() {
+    dump("bridge", Bridge::default());
+    dump("example_router", ExampleRouter::default());
+    dump("firewall", Firewall::default());
+    dump("lb", LoadBalancer::default());
+    dump("lpm_router", LpmRouter::default());
+    dump(
+        "nat_a",
+        Nat::with(nat::NatConfig::default(), nat::AllocKind::A),
+    );
+    dump(
+        "nat_b",
+        Nat::with(nat::NatConfig::default(), nat::AllocKind::B),
+    );
+    dump("static_router", StaticRouter::default());
+}
