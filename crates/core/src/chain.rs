@@ -261,20 +261,36 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
 ///     .push(StaticRouter::default());
 /// let contract = chain.contract(StackLevel::NfOnly).unwrap();
 /// ```
+///
+/// With a persistent contract store attached
+/// ([`Pipeline::with_store`], or ambiently via `BOLT_STORE_DIR`), stage
+/// explorations are get-or-explore: long chains re-use each NF's stored
+/// paths instead of re-exploring per composition.
 #[derive(Default)]
-pub struct Pipeline {
+pub struct Pipeline<'s> {
     stages: Vec<Box<dyn AbstractNf>>,
+    store: Option<&'s bolt_store::ContractStore>,
 }
 
-impl Pipeline {
+impl<'s> Pipeline<'s> {
     /// An empty chain.
     pub fn new() -> Self {
-        Pipeline { stages: Vec::new() }
+        Pipeline {
+            stages: Vec::new(),
+            store: None,
+        }
     }
 
     /// Append a network function to the downstream end.
     pub fn push(mut self, nf: impl AbstractNf + 'static) -> Self {
         self.stages.push(Box::new(nf));
+        self
+    }
+
+    /// Attach a persistent contract store consulted for every stage
+    /// exploration.
+    pub fn with_store(mut self, store: &'s bolt_store::ContractStore) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -294,11 +310,23 @@ impl Pipeline {
     }
 
     /// Each stage's individual contract, upstream first (every stage is
-    /// explored at `level`).
+    /// explored at `level`, through the attached or ambient store when
+    /// one is configured).
     pub fn contracts(&self, level: StackLevel) -> Vec<NfContract> {
+        let env;
+        let store = match self.store {
+            Some(s) => Some(s),
+            None => {
+                env = crate::store::env_store();
+                env.as_ref()
+            }
+        };
         self.stages
             .iter()
-            .map(|s| s.explore_contract(level))
+            .map(|s| match store {
+                Some(st) => s.explore_contract_cached(level, st),
+                None => s.explore_contract(level),
+            })
             .collect()
     }
 

@@ -1,0 +1,185 @@
+//! Binary codec for [`NfContract`]s (the contract store's contract
+//! records).
+//!
+//! A contract record is self-contained: the term pool the constraints
+//! live in, then one entry per path — constraints, tags, verdict, the
+//! three per-metric cost polynomials, packet fields, and the final
+//! packet overlay. Decoding rehydrates the pool by re-interning (see
+//! `bolt_store::codec`), so a decoded contract answers `query(...)`
+//! bit-identically to the one that was encoded, and remains a *live*
+//! contract: class queries can keep interning instantiated constraints
+//! into its pool.
+
+use bolt_store::codec::{
+    read_perf, read_pool, read_term_ref, write_perf, write_pool, write_term_ref, MAX_COUNT,
+};
+use bolt_store::{ByteReader, ByteWriter, DecodeError};
+
+use bolt_expr::PerfExpr;
+use bolt_see::codec as see_codec;
+
+use crate::contract::{NfContract, PathContract};
+
+/// Encode a contract.
+pub fn encode_contract(c: &NfContract) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_pool(&mut w, &c.pool);
+    w.varint(c.paths.len() as u64);
+    for p in &c.paths {
+        w.varint(p.constraints.len() as u64);
+        for &t in &p.constraints {
+            write_term_ref(&mut w, t);
+        }
+        see_codec::write_tags(&mut w, &p.tags);
+        see_codec::write_verdict(&mut w, p.verdict);
+        for perf in &p.perf {
+            write_perf(&mut w, perf);
+        }
+        w.varint(p.packet_fields.len() as u64);
+        for f in &p.packet_fields {
+            see_codec::write_packet_field(&mut w, f);
+        }
+        see_codec::write_final_packet(&mut w, &p.final_packet);
+    }
+    w.into_bytes()
+}
+
+/// Decode a contract. Fails (never panics) on corrupt input.
+pub fn decode_contract(bytes: &[u8]) -> Result<NfContract, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let pool = read_pool(&mut r)?;
+    let n_paths = r.count(MAX_COUNT)?;
+    let mut paths = Vec::with_capacity(n_paths);
+    for index in 0..n_paths {
+        let n_cs = r.count(MAX_COUNT)?;
+        let mut constraints = Vec::with_capacity(n_cs);
+        for _ in 0..n_cs {
+            constraints.push(read_term_ref(&mut r, &pool)?);
+        }
+        let tags = see_codec::read_tags(&mut r)?;
+        let verdict = see_codec::read_verdict(&mut r)?;
+        let perf: [PerfExpr; 3] = [read_perf(&mut r)?, read_perf(&mut r)?, read_perf(&mut r)?];
+        let n_pf = r.count(MAX_COUNT)?;
+        let mut packet_fields = Vec::with_capacity(n_pf);
+        for _ in 0..n_pf {
+            packet_fields.push(see_codec::read_packet_field(&mut r, &pool)?);
+        }
+        let final_packet = see_codec::read_final_packet(&mut r, &pool)?;
+        paths.push(PathContract {
+            index,
+            constraints,
+            tags,
+            verdict,
+            perf,
+            packet_fields,
+            final_packet,
+        });
+    }
+    r.expect_end()?;
+    Ok(NfContract { pool, paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassSpec, InputClass};
+    use crate::contract::generate;
+    use bolt_expr::PcvAssignment;
+    use bolt_see::{Explorer, NfCtx, NfVerdict};
+    use bolt_solver::Solver;
+    use bolt_trace::Metric;
+    use nf_lib::flow_table::{FlowTableModel, FlowTableOps, FlowTableParams};
+
+    fn toy_contract() -> NfContract {
+        let mut reg = nf_lib::registry::DsRegistry::new();
+        let params = FlowTableParams {
+            capacity: 256,
+            ttl_ns: 1000,
+        };
+        let ids = nf_lib::flow_table::register::<1>(&mut reg, "t", "", params);
+        let result = Explorer::new().explore(|ctx| {
+            let mut model = FlowTableModel::new(ids, params);
+            let pkt = ctx.packet(64);
+            let et = ctx.load(pkt, 12, 2);
+            if ctx.branch_eq_imm(et, 0x0800, bolt_expr::Width::W16) {
+                ctx.tag("valid");
+                let f = ctx.load(pkt, 26, 4);
+                let f64v = ctx.zext(f, bolt_expr::Width::W64);
+                let now = ctx.lit(0, bolt_expr::Width::W64);
+                match FlowTableOps::<_, 1>::get(&mut model, ctx, &[f64v], now) {
+                    Some(_) => ctx.tag("hit"),
+                    None => ctx.tag("miss"),
+                }
+                ctx.verdict(NfVerdict::Forward(0));
+            } else {
+                ctx.tag("invalid");
+                ctx.verdict(NfVerdict::Drop);
+            }
+        });
+        generate(&reg, result)
+    }
+
+    #[test]
+    fn contract_round_trip_is_bit_identical() {
+        let fresh = toy_contract();
+        let bytes = encode_contract(&fresh);
+        let decoded = decode_contract(&bytes).expect("round trip");
+        assert_eq!(decoded.pool.nodes(), fresh.pool.nodes());
+        assert_eq!(decoded.paths.len(), fresh.paths.len());
+        for (d, f) in decoded.paths.iter().zip(&fresh.paths) {
+            assert_eq!(d.index, f.index);
+            assert_eq!(d.constraints, f.constraints);
+            assert_eq!(d.tags, f.tags);
+            assert_eq!(d.verdict, f.verdict);
+            assert_eq!(d.perf, f.perf);
+            assert_eq!(d.packet_fields, f.packet_fields);
+            assert_eq!(d.final_packet, f.final_packet);
+        }
+        assert_eq!(encode_contract(&decoded), bytes);
+    }
+
+    #[test]
+    fn decoded_contracts_answer_queries_identically() {
+        let mut fresh = toy_contract();
+        let bytes = encode_contract(&fresh);
+        let mut decoded = decode_contract(&bytes).unwrap();
+        let solver = Solver::default();
+        let env = PcvAssignment::new();
+        let classes = [
+            InputClass::new("valid", ClassSpec::field_eq(12, 2, 0x0800)),
+            InputClass::new("invalid", ClassSpec::field_ne(12, 2, 0x0800)),
+            InputClass::new("hits", ClassSpec::Tag("hit")),
+            InputClass::unconstrained(),
+        ];
+        for class in &classes {
+            for metric in Metric::ALL {
+                let a = fresh.query(&solver, class, metric, &env);
+                let b = decoded.query(&solver, class, metric, &env);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.path_index, y.path_index, "{}/{metric}", class.name);
+                        assert_eq!(x.value, y.value, "{}/{metric}", class.name);
+                        assert_eq!(x.expr, y.expr, "{}/{metric}", class.name);
+                    }
+                    (x, y) => panic!("{}/{metric}: {x:?} vs {y:?}", class.name),
+                }
+            }
+            assert_eq!(
+                fresh.compatible_paths(&solver, class),
+                decoded.compatible_paths(&solver, class)
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_contract_bytes_are_rejected() {
+        let bytes = encode_contract(&toy_contract());
+        for cut in [0, 3, bytes.len() / 3, bytes.len() - 1] {
+            assert!(decode_contract(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes;
+        padded.push(7);
+        assert!(decode_contract(&padded).is_err());
+    }
+}

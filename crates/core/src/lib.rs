@@ -28,12 +28,22 @@
 //! [`Pipeline`] composes heterogeneous NFs into chain contracts via
 //! trait objects.
 
+//! [`store`] is the persistence layer: exploration is deterministic per
+//! (NF config, stack level), so [`store::StoreExt::get_or_explore`]
+//! turns contract extraction into a compile-once/query-forever artifact
+//! — warm runs decode stored paths instead of re-running the explorer
+//! and solver ([`codec`] holds the contract codec itself).
+
 pub mod chain;
 pub mod classes;
+pub mod codec;
 pub mod contract;
 pub mod nf;
+pub mod store;
 
 pub use chain::{compose, naive_add, Pipeline};
 pub use classes::{ClassSpec, InputClass};
+pub use codec::{decode_contract, encode_contract};
 pub use contract::{generate, NfContract, PathContract, QueryResult};
 pub use nf::{AbstractNf, Bolt, Contract, Exploration, NetworkFunction};
+pub use store::{env_store, store_key, ContractStore, Fingerprint, Fingerprinter, StoreExt};

@@ -36,8 +36,17 @@ use dpdk_sim::{sym_process_packet, Mbuf, StackLevel};
 use nf_lib::clock::Clock;
 use nf_lib::registry::DsRegistry;
 
+pub use bolt_store::{ContractStore, Fingerprinter};
+
 use crate::classes::InputClass;
 use crate::contract::{generate, NfContract, PathContract, QueryResult};
+use crate::store::StoreExt;
+
+/// Chunk size of the default [`NetworkFunction::process_batch`] walk.
+/// Tuned to the shape real burst loops take (a cache-friendly fraction
+/// of the typical 32–256-mbuf burst); overriding NFs are free to pick
+/// their own.
+pub const BURST_CHUNK: usize = 32;
 
 /// A network function: configuration plus the Vigor-style split into
 /// stateful library parts (registered, modelled, contracted) and
@@ -86,12 +95,28 @@ pub trait NetworkFunction {
         64
     }
 
+    /// Feed every configuration field that can change exploration output
+    /// into the contract-store fingerprint. The NF name, packet length,
+    /// and stack level are hashed by the caller
+    /// ([`crate::store::store_key`]); descriptors add their own config on
+    /// top. The default adds nothing — correct only for configuration-free
+    /// descriptors, so any NF with a config struct must override this or
+    /// distinct configs would share a store record.
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        let _ = fp;
+    }
+
     /// Process a burst of received packets (the DPDK `rx_burst` shape).
     ///
-    /// The default loops over [`NetworkFunction::process`], emitting one
-    /// verdict per mbuf in order — the invariant overriding
-    /// implementations must preserve. Override to amortise per-burst work
-    /// (prefetch, shared expiry scans, SIMD classification).
+    /// The default walks the burst in [`BURST_CHUNK`]-sized chunks,
+    /// processing each packet with [`NetworkFunction::process`] and
+    /// emitting one verdict per mbuf in order — the invariant overriding
+    /// implementations must preserve (pinned by the parity test in
+    /// `tests/nf_api.rs`). Behaviourally this walk equals the plain
+    /// per-packet loop; the chunk boundary exists as the seam where
+    /// overriding NFs hang per-chunk amortisation (prefetch of the next
+    /// chunk's headers, shared expiry scans, SIMD classification)
+    /// without re-deriving the ragged-tail bookkeeping.
     fn process_batch(
         &self,
         ctx: &mut ConcreteCtx<'_>,
@@ -99,8 +124,10 @@ pub trait NetworkFunction {
         clock: &Clock,
         mbufs: &mut [Mbuf],
     ) {
-        for mbuf in mbufs.iter() {
-            self.process(ctx, state, clock, *mbuf);
+        for chunk in mbufs.chunks(BURST_CHUNK) {
+            for mbuf in chunk.iter() {
+                self.process(ctx, state, clock, *mbuf);
+            }
         }
     }
 
@@ -123,6 +150,7 @@ pub trait NetworkFunction {
             ids,
             level,
             result,
+            cached: false,
         }
     }
 
@@ -136,18 +164,39 @@ pub trait NetworkFunction {
 }
 
 /// Fluent entrypoint: `Bolt::nf(nf).explore(level).contract().query(…)`.
-pub struct Bolt<N> {
+///
+/// `explore` consults the persistent contract store when one is attached
+/// with [`Bolt::with_store`] — or ambiently via the `BOLT_STORE_DIR`
+/// environment variable — and skips the explorer (and every solver
+/// query) on a warm hit. With no store, it explores fresh, exactly as
+/// before.
+pub struct Bolt<'s, N> {
     nf: N,
+    store: Option<&'s ContractStore>,
 }
 
-impl<N: NetworkFunction> Bolt<N> {
+impl<'s, N: NetworkFunction> Bolt<'s, N> {
     /// Wrap a network function descriptor.
     pub fn nf(nf: N) -> Self {
-        Bolt { nf }
+        Bolt { nf, store: None }
     }
 
-    /// Run the analysis build at a stack level.
+    /// Attach a persistent contract store: `explore` becomes
+    /// get-or-explore against it.
+    pub fn with_store(mut self, store: &'s ContractStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Run the analysis build at a stack level (through the attached or
+    /// ambient store, when one is configured).
     pub fn explore(self, level: StackLevel) -> Exploration<N::Ids> {
+        if let Some(store) = self.store {
+            return store.get_or_explore(&self.nf, level);
+        }
+        if let Some(store) = crate::store::env_store() {
+            return store.get_or_explore(&self.nf, level);
+        }
         self.nf.explore(level)
     }
 
@@ -169,6 +218,9 @@ pub struct Exploration<I> {
     pub level: StackLevel,
     /// The feasible paths.
     pub result: ExplorationResult,
+    /// Whether the result was served from a persistent contract store
+    /// (no explorer run, no solver query) rather than explored fresh.
+    pub cached: bool,
 }
 
 impl<I> Exploration<I> {
@@ -272,6 +324,11 @@ pub trait AbstractNf {
 
     /// Run the analysis build and generate the raw contract.
     fn explore_contract(&self, level: StackLevel) -> NfContract;
+
+    /// Like [`AbstractNf::explore_contract`], but get-or-explore against
+    /// a persistent contract store (warm hits skip the explorer and the
+    /// solver entirely).
+    fn explore_contract_cached(&self, level: StackLevel, store: &ContractStore) -> NfContract;
 }
 
 impl<N: NetworkFunction> AbstractNf for N {
@@ -281,5 +338,9 @@ impl<N: NetworkFunction> AbstractNf for N {
 
     fn explore_contract(&self, level: StackLevel) -> NfContract {
         self.explore(level).contract().into_inner()
+    }
+
+    fn explore_contract_cached(&self, level: StackLevel, store: &ContractStore) -> NfContract {
+        store.get_or_explore(self, level).contract().into_inner()
     }
 }

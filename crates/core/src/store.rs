@@ -1,0 +1,172 @@
+//! NF-aware layer over the persistent contract store.
+//!
+//! `bolt_store` moves raw checksummed records; this module gives them
+//! meaning: [`store_key`] fingerprints an NF descriptor + stack level
+//! into the store's addressing key, and [`StoreExt`] extends
+//! [`ContractStore`] with the typed front door —
+//! [`StoreExt::get_or_explore`] returns a decoded exploration on a warm
+//! hit (zero exploration runs, zero solver queries) and explores + saves
+//! on a miss. Exploration is deterministic per (config, level), which is
+//! what makes the cached record a faithful stand-in for a fresh run.
+//!
+//! Opt-in is explicit ([`crate::nf::Bolt::with_store`],
+//! [`crate::chain::Pipeline::with_store`]) or ambient via the
+//! `BOLT_STORE_DIR` environment variable (the bench default).
+
+use std::io;
+
+use dpdk_sim::StackLevel;
+use nf_lib::registry::DsRegistry;
+
+pub use bolt_store::{ContractStore, Fingerprint, Fingerprinter, RecordKind, StoreEntry};
+
+use crate::codec::{decode_contract, encode_contract};
+use crate::contract::NfContract;
+use crate::nf::{Exploration, NetworkFunction};
+
+/// Environment variable naming the ambient store directory.
+pub const STORE_DIR_ENV: &str = "BOLT_STORE_DIR";
+
+/// Stable tag of a stack level (part of the record header and key).
+pub fn level_tag(level: StackLevel) -> u8 {
+    match level {
+        StackLevel::NfOnly => 0,
+        StackLevel::FullStack => 1,
+    }
+}
+
+/// Parse a stack-level tag back.
+pub fn level_from_tag(tag: u8) -> Option<StackLevel> {
+    match tag {
+        0 => Some(StackLevel::NfOnly),
+        1 => Some(StackLevel::FullStack),
+        _ => None,
+    }
+}
+
+/// The store key of one (NF descriptor, stack level) exploration: name,
+/// symbolic packet length, every config field the descriptor feeds
+/// through [`NetworkFunction::fingerprint_config`], and the level — all
+/// under the store format version (seeded into the hasher) and the
+/// crate version (so a release that may have changed NF bodies or the
+/// explorer cold-starts the store instead of serving stale paths;
+/// within one version, exploration-affecting changes must bump
+/// `bolt_store::STORE_FORMAT_VERSION`).
+pub fn store_key<N: NetworkFunction>(nf: &N, level: StackLevel) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    fp.str("bolt.nf");
+    fp.str(env!("CARGO_PKG_VERSION"));
+    fp.str(nf.name());
+    fp.u64(nf.packet_len());
+    nf.fingerprint_config(&mut fp);
+    fp.u8(level_tag(level));
+    fp.finish()
+}
+
+/// The ambient store named by `BOLT_STORE_DIR`, if the variable is set
+/// and the directory is usable.
+pub fn env_store() -> Option<ContractStore> {
+    let dir = std::env::var_os(STORE_DIR_ENV)?;
+    if dir.is_empty() {
+        return None;
+    }
+    ContractStore::open(std::path::PathBuf::from(dir)).ok()
+}
+
+/// Typed operations over a [`ContractStore`] (implemented for it here,
+/// since the store crate sits below the NF abstraction).
+pub trait StoreExt {
+    /// Warm path: decode the stored exploration for this (NF, level) —
+    /// re-registering the NF's stateful parts is the only work, no
+    /// explorer run, no solver query. Cold path: explore, save the
+    /// record, and return the fresh result. The returned
+    /// [`Exploration::cached`] flag says which happened.
+    fn get_or_explore<N: NetworkFunction>(&self, nf: &N, level: StackLevel) -> Exploration<N::Ids>;
+
+    /// Fetch and decode a stored contract record.
+    fn get_contract(&self, key: Fingerprint) -> Option<NfContract>;
+
+    /// Encode and persist a contract record.
+    fn put_contract(
+        &self,
+        key: Fingerprint,
+        nf_name: &str,
+        level: StackLevel,
+        contract: &NfContract,
+    ) -> io::Result<()>;
+}
+
+impl StoreExt for ContractStore {
+    fn get_or_explore<N: NetworkFunction>(&self, nf: &N, level: StackLevel) -> Exploration<N::Ids> {
+        let key = store_key(nf, level);
+        if let Some(payload) = self.get(key, RecordKind::Exploration) {
+            match bolt_see::codec::decode_result(&payload) {
+                Ok(result) => {
+                    let mut reg = DsRegistry::new();
+                    let ids = nf.register(&mut reg);
+                    return Exploration {
+                        reg,
+                        ids,
+                        level,
+                        result,
+                        cached: true,
+                    };
+                }
+                Err(_) => {
+                    // The header checked out but the payload did not
+                    // decode (e.g. written by a buggy encoder): drop the
+                    // record so the rewrite below replaces it.
+                    let _ = self.evict(key, RecordKind::Exploration);
+                }
+            }
+        }
+        let ex = nf.explore(level);
+        let payload = bolt_see::codec::encode_result(&ex.result);
+        // A failed write costs only the warm start, never the result.
+        let _ = self.put(
+            key,
+            RecordKind::Exploration,
+            nf.name(),
+            level_tag(level),
+            ex.result.paths.len() as u64,
+            &payload,
+        );
+        ex
+    }
+
+    fn get_contract(&self, key: Fingerprint) -> Option<NfContract> {
+        let payload = self.get(key, RecordKind::Contract)?;
+        decode_contract(&payload).ok()
+    }
+
+    fn put_contract(
+        &self,
+        key: Fingerprint,
+        nf_name: &str,
+        level: StackLevel,
+        contract: &NfContract,
+    ) -> io::Result<()> {
+        let payload = encode_contract(contract);
+        self.put(
+            key,
+            RecordKind::Contract,
+            nf_name,
+            level_tag(level),
+            contract.paths.len() as u64,
+            &payload,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_tags_round_trip() {
+        for level in [StackLevel::NfOnly, StackLevel::FullStack] {
+            assert_eq!(level_from_tag(level_tag(level)), Some(level));
+        }
+        assert_eq!(level_from_tag(9), None);
+    }
+}

@@ -95,6 +95,13 @@ impl Monomial {
         Monomial(vec![id])
     }
 
+    /// Serialization hook: rebuild a monomial from its variable list
+    /// (sorted on entry, so decoded monomials are canonical).
+    pub fn from_vars(mut vars: Vec<PcvId>) -> Monomial {
+        vars.sort_unstable();
+        Monomial(vars)
+    }
+
     /// Product of two monomials.
     pub fn mul(&self, other: &Monomial) -> Monomial {
         let mut v = self.0.clone();

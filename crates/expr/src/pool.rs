@@ -236,9 +236,7 @@ impl TermPool {
 
     /// A fresh symbolic variable with a human-readable name.
     pub fn fresh_sym(&mut self, name: impl Into<String>, width: Width) -> TermRef {
-        let id = self.sym_names.len() as SymId;
-        self.sym_names.push(name.into());
-        self.sym_widths.push(width);
+        let id = self.register_sym(name, width);
         self.intern(Term::Sym { id, width })
     }
 
@@ -541,6 +539,41 @@ impl TermPool {
     /// traversal, no re-sort, no allocation.
     pub fn syms_of(&self, r: TermRef) -> &[SymId] {
         &self.meta[r.index()].syms
+    }
+
+    // ------------------------------------------------------------------
+    // Serialization hooks (used by the contract-store codec)
+    // ------------------------------------------------------------------
+
+    /// The term arena, in intern order (children precede parents).
+    pub fn nodes(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The symbol registry, in id order: `(name, width)` per symbol.
+    pub fn sym_entries(&self) -> impl Iterator<Item = (&str, Width)> {
+        self.sym_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.sym_widths.iter().copied())
+    }
+
+    /// Register a symbol in the name registry *without* interning its
+    /// term node. Rehydration registers all symbols first, then replays
+    /// the arena in order, so `Sym` nodes land at their original indices.
+    pub fn register_sym(&mut self, name: impl Into<String>, width: Width) -> SymId {
+        let id = self.sym_names.len() as SymId;
+        self.sym_names.push(name.into());
+        self.sym_widths.push(width);
+        id
+    }
+
+    /// Re-intern one decoded arena node (children must already be
+    /// interned). Replaying [`TermPool::nodes`] in order through this
+    /// rebuilds a bit-identical pool: interning assigns sequential
+    /// indices, and every stored node is distinct.
+    pub fn intern_node(&mut self, t: Term) -> TermRef {
+        self.intern(t)
     }
 
     /// Render a term as human-readable infix text, using symbol names.

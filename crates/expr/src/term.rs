@@ -81,6 +81,15 @@ impl TermRef {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Serialization hook: rebuild a reference from a raw arena index.
+    ///
+    /// Only meaningful for indices obtained from [`TermRef::index`] against
+    /// the same (or a bit-identically rehydrated) pool; the store codec
+    /// validates indices against the pool length before use.
+    pub fn from_raw(index: u32) -> TermRef {
+        TermRef(index)
+    }
 }
 
 impl fmt::Debug for TermRef {

@@ -5,7 +5,7 @@
 //! flood (Br2), known unicast forwards (Br3), unknown unicast floods.
 //! Unconstrained traffic (Br1) can hit the mass-expiry worst case.
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
@@ -131,6 +131,12 @@ impl NetworkFunction for Bridge {
 
     fn register(&self, reg: &mut DsRegistry) -> BridgeIds {
         register(reg, &self.cfg)
+    }
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.usize(self.cfg.capacity)
+            .u64(self.cfg.ttl_ns)
+            .u64(self.cfg.rehash_threshold);
     }
 
     fn state(&self, ids: BridgeIds, aspace: &mut AddressSpace) -> BridgeState {

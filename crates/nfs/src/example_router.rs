@@ -5,7 +5,7 @@
 //! the stylised contract of Table 1 (whole router) and Table 2 (the
 //! `lpmGet` method).
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
@@ -83,6 +83,10 @@ impl NetworkFunction for ExampleRouter {
 
     fn register(&self, reg: &mut DsRegistry) -> ExampleRouterIds {
         register(reg)
+    }
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.usize(self.max_nodes);
     }
 
     fn state(&self, ids: ExampleRouterIds, aspace: &mut AddressSpace) -> ExampleRouterState {

@@ -5,7 +5,7 @@
 //! immediately (which is what lets the downstream router's expensive
 //! option path be masked in the composed contract); non-IPv4 drops too.
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
@@ -108,6 +108,13 @@ impl NetworkFunction for Firewall {
     }
 
     fn register(&self, _reg: &mut DsRegistry) {}
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.usize(self.cfg.rules.len());
+        for &(prefix, len, dport) in &self.cfg.rules {
+            fp.u32(prefix).u8(len).u16(dport);
+        }
+    }
 
     fn state(&self, _ids: (), _aspace: &mut AddressSpace) {}
 

@@ -7,7 +7,7 @@
 //! announce themselves with heartbeat packets (LB5). Unconstrained
 //! traffic (LB1) can hit the mass-expiry worst case.
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
@@ -218,6 +218,16 @@ impl NetworkFunction for LoadBalancer {
 
     fn register(&self, reg: &mut DsRegistry) -> LbIds {
         register(reg, &self.cfg)
+    }
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.usize(self.cfg.capacity)
+            .u64(self.cfg.ttl_ns)
+            .u16(self.cfg.n_backends)
+            .u64(self.cfg.ring_size)
+            .u64(self.cfg.hb_ttl_ns)
+            .u16(self.cfg.backend_port)
+            .u16(self.cfg.hb_udp_port);
     }
 
     fn state(&self, ids: LbIds, aspace: &mut AddressSpace) -> Lb {

@@ -4,7 +4,7 @@
 //! for ≤24-bit matches, two for longer — the LPM2/LPM1 split), get their
 //! TTL decremented and checksum fixed, and are forwarded.
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::AddressSpace;
@@ -110,6 +110,10 @@ impl NetworkFunction for LpmRouter {
 
     fn register(&self, reg: &mut DsRegistry) -> LpmRouterIds {
         register(reg)
+    }
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.u8(self.cfg.first_bits).usize(self.cfg.max_groups);
     }
 
     fn state(&self, ids: LpmRouterIds, aspace: &mut AddressSpace) -> LpmRouterState {

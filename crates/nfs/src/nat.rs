@@ -12,7 +12,7 @@
 //! uses — reproducing the §5.3 expiry-batching bug is a one-line change
 //! of [`nf_lib::clock::Granularity`].
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::{PerfExpr, Width};
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::{AddressSpace, DsId, InstrClass, Metric, StatefulCall};
@@ -651,6 +651,20 @@ impl NetworkFunction for Nat {
 
     fn register(&self, reg: &mut DsRegistry) -> NatIds {
         register(reg, &self.cfg, self.kind)
+    }
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        fp.usize(self.cfg.capacity)
+            .u64(self.cfg.ttl_ns)
+            .usize(self.cfg.n_ports)
+            .u16(self.cfg.base_port)
+            .u32(self.cfg.external_ip)
+            .u16(self.cfg.lan_port)
+            .u16(self.cfg.wan_port)
+            .u8(match self.kind {
+                AllocKind::A => 0,
+                AllocKind::B => 1,
+            });
     }
 
     fn state(&self, ids: NatIds, aspace: &mut AddressSpace) -> NatState {

@@ -9,7 +9,7 @@
 //! *packet* property, so no stateful model is involved: symbolic
 //! execution simply enumerates one path per option count.
 
-use bolt_core::nf::NetworkFunction;
+use bolt_core::nf::{Fingerprinter, NetworkFunction};
 use bolt_expr::Width;
 use bolt_see::{ConcreteCtx, NfCtx, NfVerdict, SymbolicCtx};
 use bolt_trace::{AddressSpace, MemRegion};
@@ -157,6 +157,12 @@ impl NetworkFunction for StaticRouter {
     }
 
     fn register(&self, _reg: &mut DsRegistry) {}
+
+    fn fingerprint_config(&self, fp: &mut Fingerprinter) {
+        for nh in self.cfg.next_hop {
+            fp.u16(nh);
+        }
+    }
 
     fn state(&self, _ids: (), aspace: &mut AddressSpace) -> StaticRouterState {
         StaticRouterState::new(aspace)

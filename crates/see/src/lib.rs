@@ -25,6 +25,7 @@
 //! contract generator charge stateless instructions exactly (§3.5's
 //! deterministic replay).
 
+pub mod codec;
 pub mod concrete;
 pub mod explore;
 pub mod symbolic;

@@ -124,6 +124,9 @@ pub struct SolverStats {
     pub memo_hits: u64,
     /// Requests answered by evaluating a cached model (witness reuse).
     pub witness_reuse_hits: u64,
+    /// Cached models evicted to make room (the model cache is bounded;
+    /// eviction picks the least-used entry, oldest on ties).
+    pub model_evictions: u64,
 }
 
 impl SolverStats {
@@ -135,6 +138,7 @@ impl SolverStats {
         self.unsat_by_propagation += o.unsat_by_propagation;
         self.memo_hits += o.memo_hits;
         self.witness_reuse_hits += o.witness_reuse_hits;
+        self.model_evictions += o.model_evictions;
     }
 
     /// Requests answered without running the decision procedure.
@@ -807,10 +811,19 @@ pub struct SolverCache {
     /// witness — the atom alone was Unsat or Unknown).
     atom_memo: HashMap<u32, Option<Witness>>,
     /// Recently discovered models, reused to answer satisfiable probes.
-    models: Vec<Witness>,
-    next_model: usize,
+    models: Vec<CachedModel>,
+    /// Monotone insertion stamp (eviction tie-breaker: oldest loses).
+    model_seq: u64,
     /// Counters for everything routed through this cache.
     pub stats: SolverStats,
+}
+
+/// One cached model with its usage count (eviction weight).
+#[derive(Debug)]
+struct CachedModel {
+    w: Witness,
+    hits: u64,
+    seq: u64,
 }
 
 /// Cached models kept for witness reuse.
@@ -822,13 +835,36 @@ impl SolverCache {
         Self::default()
     }
 
+    /// Number of models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.models.len()
+    }
+
     fn push_model(&mut self, w: Witness) {
+        self.model_seq += 1;
+        let entry = CachedModel {
+            w,
+            hits: 0,
+            seq: self.model_seq,
+        };
         if self.models.len() < MODEL_CACHE_CAP {
-            self.models.push(w);
-        } else {
-            self.models[self.next_model] = w;
-            self.next_model = (self.next_model + 1) % MODEL_CACHE_CAP;
+            self.models.push(entry);
+            return;
         }
+        // Hit-count-weighted retention: a model that has answered many
+        // probes is worth more than a fresh one-off, so evict the
+        // least-used entry (FIFO only among equally-used ones). NFs with
+        // hundreds of paths churn many single-use models past a few
+        // hot cross-path ones; plain FIFO evicted the hot ones too.
+        let i = self
+            .models
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| (m.hits, m.seq))
+            .map(|(i, _)| i)
+            .expect("cache is non-empty at capacity");
+        self.models[i] = entry;
+        self.stats.model_evictions += 1;
     }
 }
 
@@ -904,8 +940,15 @@ impl SolverCtx {
         // it, and for one-sided equations over a previously-unconstrained
         // symbol (the shape data-structure models emit from `assume`),
         // repair the model by assigning the symbol its forced value. The
-        // repair cannot disturb earlier constraints — the symbol occurs
-        // in none of them — and is verified before being kept.
+        // symbol side may be wrapped in a width adapter — `zext(sym)` or
+        // `trunc(sym)` — which some models emit when bridging field
+        // widths; the forced value passes through the adapter unchanged
+        // (for `trunc`, the free high bits are set to zero). The repair
+        // cannot disturb earlier constraints — the symbol occurs in none
+        // of them — and is verified before being kept, so an
+        // unsatisfiable adapter equation (e.g. `zext(sym) == v` with `v`
+        // wider than the symbol) simply fails verification and drops the
+        // model.
         if let Some(w) = &mut self.cur_witness {
             if w.eval(pool, t) != 1 {
                 let mut repaired = false;
@@ -916,7 +959,17 @@ impl SolverCtx {
                 } = *pool.get(t)
                 {
                     for (s_side, e_side) in [(a, b), (b, a)] {
-                        if let Term::Sym { id, .. } = *pool.get(s_side) {
+                        let target = match *pool.get(s_side) {
+                            Term::Sym { id, .. } => Some(id),
+                            Term::Zext { a: inner, .. } | Term::Trunc { a: inner, .. } => {
+                                match *pool.get(inner) {
+                                    Term::Sym { id, .. } => Some(id),
+                                    _ => None,
+                                }
+                            }
+                            _ => None,
+                        };
+                        if let Some(id) = target {
                             if !self.known_syms.contains(&id) {
                                 let v = w.eval(pool, e_side);
                                 w.set(id, v);
@@ -1056,21 +1109,25 @@ impl SolverCtx {
         if self.cur_witness.is_none() {
             let mut prefix_model = None;
             for i in 0..cache.models.len() {
-                let m = &cache.models[i];
+                let m = &cache.models[i].w;
                 if self.constraints.iter().all(|&c| m.eval(pool, c) == 1) {
                     if m.eval(pool, extra) == 1 {
                         let w = m.clone();
+                        cache.models[i].hits += 1;
                         cache.stats.witness_reuse_hits += 1;
                         cache.list_memo.insert(key, true);
                         self.cur_witness = Some(w);
                         return true;
                     }
                     if prefix_model.is_none() {
-                        prefix_model = Some(m.clone());
+                        prefix_model = Some((i, m.clone()));
                     }
                 }
             }
-            self.cur_witness = prefix_model;
+            if let Some((i, m)) = prefix_model {
+                cache.models[i].hits += 1;
+                self.cur_witness = Some(m);
+            }
         }
         // 4. Disjoint-support merge: the atom touches only symbols no
         //    current constraint mentions, so a witness of the atom alone
@@ -1146,9 +1203,10 @@ impl SolverCtx {
                 if self
                     .constraints
                     .iter()
-                    .all(|&c| cache.models[i].eval(pool, c) == 1)
+                    .all(|&c| cache.models[i].w.eval(pool, c) == 1)
                 {
-                    let w = cache.models[i].clone();
+                    let w = cache.models[i].w.clone();
+                    cache.models[i].hits += 1;
                     cache.stats.witness_reuse_hits += 1;
                     cache.list_memo.insert(key, true);
                     self.cur_witness = Some(w);
@@ -1511,6 +1569,125 @@ mod tests {
             cache.stats.solver_queries + cache.stats.unsat_by_propagation,
             before,
             "repeat probe must be answered from the caches"
+        );
+    }
+
+    #[test]
+    fn width_adapter_equations_keep_models_alive() {
+        // eq(zext(sym), expr) / eq(trunc(sym), expr) over fresh symbols
+        // must repair the current model instead of dropping it — the
+        // shape width-bridging data-structure models emit from `assume`.
+        let mut p = TermPool::new();
+        let s = solver();
+        let mut ctx = SolverCtx::new(&s);
+        let base = p.fresh_sym("base", Width::W8);
+        let c1 = p.constant(1, Width::W8);
+        let ge1 = p.ule(c1, base);
+        ctx.assert_term(&p, ge1);
+        // The initial model died (base defaults to 0): restore one.
+        let mut cache = SolverCache::new();
+        assert!(ctx.current_feasible(&p, &mut cache));
+        assert!(ctx.model().is_some());
+        // zext adapter over a fresh symbol.
+        let f1 = p.fresh_sym("f1", Width::W8);
+        let z = p.zext(f1, Width::W16);
+        let k = p.constant(0x77, Width::W16);
+        let eq_z = p.eq(z, k);
+        ctx.assert_term(&p, eq_z);
+        let m = ctx.model().expect("zext repair must keep the model");
+        assert_eq!(m.get(1), 0x77);
+        // trunc adapter over another fresh symbol.
+        let f2 = p.fresh_sym("f2", Width::W16);
+        let t = p.trunc(f2, Width::W8);
+        let k8 = p.constant(0x5A, Width::W8);
+        let eq_t = p.eq(k8, t); // flipped side
+        ctx.assert_term(&p, eq_t);
+        let m = ctx.model().expect("trunc repair must keep the model");
+        assert_eq!(m.get(2) & 0xFF, 0x5A);
+        assert!(m.satisfies(&p, ctx.constraints()));
+    }
+
+    #[test]
+    fn unrepairable_zext_equation_drops_the_model() {
+        // zext(sym8) == 0x123 has no solution; the "repair" must fail
+        // verification and drop the model, never keep a bogus one.
+        let mut p = TermPool::new();
+        let s = solver();
+        let mut ctx = SolverCtx::new(&s);
+        let f = p.fresh_sym("f", Width::W8);
+        let z = p.zext(f, Width::W16);
+        let k = p.constant(0x123, Width::W16);
+        let eq = p.eq(z, k);
+        ctx.assert_term(&p, eq);
+        assert!(ctx.model().is_none());
+        let mut cache = SolverCache::new();
+        assert!(
+            !ctx.current_feasible(&p, &mut cache),
+            "the equation is unsatisfiable"
+        );
+    }
+
+    #[test]
+    fn model_cache_evicts_and_counts() {
+        let mut p = TermPool::new();
+        let s = solver();
+        let mut cache = SolverCache::new();
+        let zero = p.constant(0, Width::W8);
+        for i in 0..40u32 {
+            let x = p.fresh_sym(format!("x{i}"), Width::W8);
+            let ne = p.ne(x, zero);
+            let mut ctx = SolverCtx::new(&s);
+            // `ne` kills the initial all-zeros model, forcing a full
+            // solve that caches a fresh model each round.
+            ctx.assert_term(&p, ne);
+            assert!(ctx.current_feasible(&p, &mut cache));
+        }
+        assert_eq!(cache.cached_models(), 16, "cache stays bounded");
+        assert_eq!(
+            cache.stats.model_evictions, 24,
+            "40 inserts into 16 slots evict 24"
+        );
+    }
+
+    #[test]
+    fn hot_models_survive_one_off_churn() {
+        let mut p = TermPool::new();
+        let s = solver();
+        let mut cache = SolverCache::new();
+        let h = p.fresh_sym("hot", Width::W8);
+        let zero = p.constant(0, Width::W8);
+        let hot_atom = p.ne(h, zero);
+        // Seed the hot model and let it answer several distinct lists so
+        // it accumulates hits.
+        for k in 10..20u64 {
+            let kc = p.constant(k, Width::W8);
+            let bound = p.ule(h, kc);
+            let mut ctx = SolverCtx::new(&s);
+            ctx.assert_term(&p, hot_atom);
+            ctx.assert_term(&p, bound);
+            assert!(ctx.current_feasible(&p, &mut cache));
+        }
+        // Churn: 30 one-off models over fresh symbols. Plain FIFO would
+        // have rotated the hot model out after 16 of these.
+        for i in 0..30u32 {
+            let x = p.fresh_sym(format!("x{i}"), Width::W8);
+            let ne = p.ne(x, zero);
+            let mut ctx = SolverCtx::new(&s);
+            ctx.assert_term(&p, ne);
+            assert!(ctx.current_feasible(&p, &mut cache));
+        }
+        // A fresh list only the hot model satisfies must be answered by
+        // witness reuse, not a new solve.
+        let kc = p.constant(99, Width::W8);
+        let bound = p.ule(h, kc);
+        let mut ctx = SolverCtx::new(&s);
+        ctx.assert_term(&p, hot_atom);
+        ctx.assert_term(&p, bound);
+        let queries_before = cache.stats.solver_queries;
+        assert!(ctx.current_feasible(&p, &mut cache));
+        assert_eq!(
+            cache.stats.solver_queries, queries_before,
+            "hot model must answer from the cache"
         );
     }
 

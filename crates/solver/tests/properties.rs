@@ -20,7 +20,7 @@ fn random_conjunction(p: &mut TermPool, spec: &[(u8, u8, u8)]) -> Vec<TermRef> {
         let a = syms[(s % 3) as usize];
         let b = syms[((s / 3) % 3) as usize];
         let k = p.constant(v as u64, Width::W8);
-        let atom = match op % 8 {
+        let atom = match op % 10 {
             0 => p.eq(a, k),
             1 => p.ne(a, k),
             2 => p.ult(a, k),
@@ -35,10 +35,24 @@ fn random_conjunction(p: &mut TermPool, spec: &[(u8, u8, u8)]) -> Vec<TermRef> {
                 let sum = p.add(a, b);
                 p.eq(sum, k)
             }
-            _ => {
+            7 => {
                 let c1 = p.eq(a, k);
                 let c2 = p.ne(b, k);
                 p.and(c1, c2)
+            }
+            8 => {
+                // Width adapter: zext(sym) == wide constant. The constant
+                // sometimes exceeds the 8-bit range, making the equation
+                // unsatisfiable (repair must not fake a model).
+                let z = p.zext(a, Width::W16);
+                let wide = p.constant((v as u64) * 13 % 300, Width::W16);
+                p.eq(z, wide)
+            }
+            _ => {
+                // Width adapter: trunc(sym) == low bit.
+                let t = p.trunc(a, Width::W1);
+                let bit = p.constant(v as u64 & 1, Width::W1);
+                p.eq(bit, t)
             }
         };
         // Constant-folded atoms (e.g. x == x) are legal constraints too.
@@ -187,5 +201,88 @@ proptest! {
         ctx.assert_term(&p, atom);
         cs.push(atom);
         prop_assert_eq!(ctx.check(&p), s.check(&p, &cs));
+    }
+
+    /// Conjunctions including width-adapter equations (`eq(zext(sym), k)`
+    /// / `eq(trunc(sym), k)` — op codes 8/9): the incremental context,
+    /// whose model-repair path now handles these shapes, must stay
+    /// bit-identical to batch `check()` across assert/probe.
+    #[test]
+    fn incremental_matches_batch_with_width_adapters(
+        spec in proptest::collection::vec((0u8..10, 0u8..9, 0u8..20), 1..10),
+        probe_spec in (8u8..10, 0u8..9, 0u8..20),
+    ) {
+        let mut p = TermPool::new();
+        let cs = random_conjunction(&mut p, &spec);
+        let atom = random_conjunction(&mut p, &[probe_spec]).pop().unwrap();
+        let s = Solver::default();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        for &c in &cs {
+            ctx.assert_term(&p, c);
+            // Any model the repair keeps alive must be genuine.
+            if let Some(m) = ctx.model() {
+                prop_assert!(m.satisfies(&p, ctx.constraints()),
+                    "repaired model must verify");
+            }
+        }
+        prop_assert_eq!(ctx.check(&p), s.check(&p, &cs));
+        let mut extended = cs.clone();
+        extended.push(atom);
+        prop_assert_eq!(
+            ctx.probe_feasible(&p, &mut cache, atom),
+            s.is_feasible(&p, &extended)
+        );
+    }
+
+    /// One-sided width-adapter equations over *fresh* symbols — exactly
+    /// the shape the extended witness repair targets. Classification must
+    /// match batch at every step even though the context answers most
+    /// steps from the repaired model alone.
+    #[test]
+    fn width_adapter_repair_is_classification_identical(
+        steps in proptest::collection::vec((0u8..3, 0u64..400), 1..10),
+    ) {
+        let mut p = TermPool::new();
+        let s = Solver::default();
+        let mut cache = SolverCache::new();
+        let mut ctx = SolverCtx::new(&s);
+        let mut cs: Vec<TermRef> = Vec::new();
+        for (i, &(shape, v)) in steps.iter().enumerate() {
+            let sym = p.fresh_sym(format!("f{i}"), Width::W8);
+            let atom = match shape {
+                0 => {
+                    let z = p.zext(sym, Width::W16);
+                    let k = p.constant(v, Width::W16); // may exceed 8 bits
+                    p.eq(z, k)
+                }
+                1 => {
+                    let t = p.trunc(sym, Width::W1);
+                    let k = p.constant(v & 1, Width::W1);
+                    p.eq(t, k)
+                }
+                _ => {
+                    let k = p.constant(v & 0xFF, Width::W8);
+                    p.eq(k, sym)
+                }
+            };
+            let mut ext = cs.clone();
+            ext.push(atom);
+            prop_assert_eq!(
+                ctx.probe_feasible(&p, &mut cache, atom),
+                s.is_feasible(&p, &ext),
+                "probe diverged at step {}", i
+            );
+            ctx.assert_term(&p, atom);
+            cs.push(atom);
+            if let Some(m) = ctx.model() {
+                prop_assert!(m.satisfies(&p, &cs), "kept model must verify");
+            }
+            prop_assert_eq!(
+                ctx.current_feasible(&p, &mut cache),
+                s.is_feasible(&p, &cs),
+                "classification diverged at step {}", i
+            );
+        }
     }
 }

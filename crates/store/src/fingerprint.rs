@@ -1,0 +1,176 @@
+//! Stable content fingerprints for store keys.
+//!
+//! A [`Fingerprint`] identifies "the exploration of this exact NF
+//! configuration at this exact stack level under this exact store
+//! format". It is computed with a hand-rolled FNV-1a-128 — deterministic
+//! across processes, machines, and Rust versions, unlike
+//! `DefaultHasher`'s seeded SipHash — and every field is fed through a
+//! typed, length-disambiguated encoding so `("ab", "c")` and
+//! `("a", "bc")` hash differently.
+
+use std::fmt;
+
+/// Version of the on-disk record format. Mixed into every fingerprint
+/// (so a format change cold-starts the store rather than misreading old
+/// records) and written into every record header (so skewed files are
+/// rejected outright).
+pub const STORE_FORMAT_VERSION: u16 = 1;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = (1 << 88) + (1 << 8) + 0x3b;
+
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV64_PRIME: u64 = 0x100000001b3;
+
+/// FNV-1a-64 of a byte slice (payload checksums).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// A 128-bit content fingerprint (the store's addressing key).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parse the 32-hex-digit form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+/// Incremental FNV-1a-128 hasher with typed, self-delimiting inputs.
+///
+/// NF descriptors feed their configuration through this
+/// (`NetworkFunction::fingerprint_config`); `bolt_core` adds the NF name
+/// and stack level and finishes the key.
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    state: u128,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Fresh hasher, pre-seeded with [`STORE_FORMAT_VERSION`].
+    pub fn new() -> Self {
+        let mut fp = Fingerprinter {
+            state: FNV128_OFFSET,
+        };
+        fp.u16(STORE_FORMAT_VERSION);
+        fp
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Feed one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.write(&[v]);
+        self
+    }
+
+    /// Feed a u16 (little-endian).
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.write(&v.to_le_bytes());
+        self
+    }
+
+    /// Feed a u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.write(&v.to_le_bytes());
+        self
+    }
+
+    /// Feed a u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes());
+        self
+    }
+
+    /// Feed a usize (hashed as u64, so 32- and 64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Feed a string, length-prefixed (self-delimiting).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.write(s.as_bytes());
+        self
+    }
+
+    /// The fingerprint of everything fed so far.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a-64 reference vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let mut a = Fingerprinter::new();
+        a.str("bridge").u64(1024).u8(0);
+        let mut b = Fingerprinter::new();
+        b.str("bridge").u64(1024).u8(0);
+        assert_eq!(a.finish(), b.finish(), "same input, same fingerprint");
+        let mut c = Fingerprinter::new();
+        c.str("bridge").u64(1024).u8(1);
+        assert_ne!(a.finish(), c.finish(), "one byte must move the key");
+    }
+
+    #[test]
+    fn strings_are_self_delimiting() {
+        let mut a = Fingerprinter::new();
+        a.str("ab").str("c");
+        let mut b = Fingerprinter::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let fp = Fingerprinter::new().str("nat").finish();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(Fingerprint::parse(&s), Some(fp));
+        assert_eq!(Fingerprint::parse("nope"), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! The on-disk record store.
+//!
+//! One directory, one file per record, addressed by content fingerprint:
+//!
+//! ```text
+//! <dir>/<fingerprint:032x>.<kind>.bolt
+//! ```
+//!
+//! Each file is `header ‖ payload`. The header carries a magic number,
+//! the store format version, the record kind and stack-level tag, the
+//! fingerprint (so a renamed file cannot impersonate another key), the
+//! NF name and path count (for `list` without decoding payloads), and an
+//! FNV-1a-64 checksum of the payload. [`ContractStore::get`] re-verifies
+//! all of it; anything that does not check out — wrong magic, skewed
+//! version, fingerprint mismatch, bad checksum, truncation — is treated
+//! as a miss, never returned. Writes go through a temp file + rename so
+//! a crashed writer can not leave a half-record under a valid name.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fingerprint::{fnv64, Fingerprint, STORE_FORMAT_VERSION};
+use crate::wire::{ByteReader, ByteWriter, DecodeError};
+
+/// Record file magic.
+const MAGIC: &[u8; 4] = b"BLTS";
+
+/// What a record's payload encodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RecordKind {
+    /// An encoded `ExplorationResult` (pool + feasible paths + stats).
+    Exploration,
+    /// An encoded `NfContract` (pool + per-path cost polynomials).
+    Contract,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::Exploration => 0,
+            RecordKind::Contract => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, DecodeError> {
+        match t {
+            0 => Ok(RecordKind::Exploration),
+            1 => Ok(RecordKind::Contract),
+            _ => Err(DecodeError::Malformed("record kind out of range")),
+        }
+    }
+
+    fn file_tag(self) -> &'static str {
+        match self {
+            RecordKind::Exploration => "exp",
+            RecordKind::Contract => "ctr",
+        }
+    }
+}
+
+/// Header metadata of one stored record (everything `list` shows).
+#[derive(Clone, Debug)]
+pub struct StoreEntry {
+    /// The record's addressing key.
+    pub fingerprint: Fingerprint,
+    /// What the payload encodes.
+    pub kind: RecordKind,
+    /// NF name the record was derived from.
+    pub nf_name: String,
+    /// Stack-level tag (0 = NF-only, 1 = full-stack; `bolt_core` owns
+    /// the mapping — the store stays NF-framework-agnostic).
+    pub level: u8,
+    /// Number of feasible paths in the payload.
+    pub n_paths: u64,
+    /// Encoded payload size in bytes.
+    pub payload_len: u64,
+}
+
+/// The persistent contract store: a directory of checksummed,
+/// fingerprint-addressed records.
+#[derive(Debug)]
+pub struct ContractStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ContractStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ContractStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records served from disk since `open`.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no usable record since `open`.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn path_of(&self, fp: Fingerprint, kind: RecordKind) -> PathBuf {
+        self.dir.join(format!("{fp}.{}.bolt", kind.file_tag()))
+    }
+
+    /// Fetch a record's payload, fully verified. Any defect — missing
+    /// file, bad magic, version skew, fingerprint or kind mismatch,
+    /// checksum failure, truncation — is a miss.
+    pub fn get(&self, fp: Fingerprint, kind: RecordKind) -> Option<Vec<u8>> {
+        let res = fs::read(self.path_of(fp, kind)).ok().and_then(|bytes| {
+            verify_record(&bytes, Some(fp), Some(kind))
+                .ok()
+                .map(|(_, payload)| payload.to_vec())
+        });
+        match res {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Write a record (atomically: temp file + rename). Overwrites any
+    /// existing record under the same key.
+    pub fn put(
+        &self,
+        fp: Fingerprint,
+        kind: RecordKind,
+        nf_name: &str,
+        level: u8,
+        n_paths: u64,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.raw(MAGIC);
+        w.u16(STORE_FORMAT_VERSION);
+        w.u8(kind.tag());
+        w.u8(level);
+        w.u128(fp.0);
+        w.str(nf_name);
+        w.varint(n_paths);
+        w.u64(fnv64(payload));
+        w.bytes(payload);
+        let final_path = self.path_of(fp, kind);
+        let tmp = self.dir.join(format!(
+            ".{fp}.{}.tmp.{}",
+            kind.file_tag(),
+            std::process::id()
+        ));
+        fs::write(&tmp, w.into_bytes())?;
+        fs::rename(&tmp, &final_path)
+    }
+
+    /// Header metadata of every readable record, sorted by NF name then
+    /// level then kind. Unreadable files are skipped, not fatal.
+    pub fn list(&self) -> io::Result<Vec<StoreEntry>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("bolt") {
+                continue;
+            }
+            let Ok(bytes) = fs::read(&path) else {
+                continue;
+            };
+            if let Ok((meta, _)) = verify_record(&bytes, None, None) {
+                out.push(meta);
+            }
+        }
+        out.sort_by(|a, b| {
+            (&a.nf_name, a.level, a.kind.tag()).cmp(&(&b.nf_name, b.level, b.kind.tag()))
+        });
+        Ok(out)
+    }
+
+    /// Remove a record. Returns whether one existed.
+    pub fn evict(&self, fp: Fingerprint, kind: RecordKind) -> io::Result<bool> {
+        match fs::remove_file(self.path_of(fp, kind)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Parse and verify a record file. `expect_fp`/`expect_kind` of `None`
+/// accept any (used by `list`, which reads whatever the directory
+/// holds).
+fn verify_record(
+    bytes: &[u8],
+    expect_fp: Option<Fingerprint>,
+    expect_kind: Option<RecordKind>,
+) -> Result<(StoreEntry, &[u8]), DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    if r.raw(4)? != MAGIC {
+        return Err(DecodeError::Malformed("bad magic"));
+    }
+    if r.u16()? != STORE_FORMAT_VERSION {
+        return Err(DecodeError::Malformed("store format version mismatch"));
+    }
+    let kind = RecordKind::from_tag(r.u8()?)?;
+    if expect_kind.is_some_and(|k| k != kind) {
+        return Err(DecodeError::Malformed("record kind mismatch"));
+    }
+    let level = r.u8()?;
+    let fp = Fingerprint(r.u128()?);
+    if expect_fp.is_some_and(|e| e != fp) {
+        return Err(DecodeError::Malformed("fingerprint mismatch"));
+    }
+    let nf_name = r.str()?.to_owned();
+    let n_paths = r.varint()?;
+    let checksum = r.u64()?;
+    let payload = r.bytes()?;
+    r.expect_end()?;
+    if fnv64(payload) != checksum {
+        return Err(DecodeError::Malformed("payload checksum mismatch"));
+    }
+    Ok((
+        StoreEntry {
+            fingerprint: fp,
+            kind,
+            nf_name,
+            level,
+            n_paths,
+            payload_len: payload.len() as u64,
+        },
+        payload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ContractStore {
+        let dir =
+            std::env::temp_dir().join(format!("bolt-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ContractStore::open(dir).unwrap()
+    }
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn put_get_list_evict() {
+        let store = temp_store("basic");
+        let payload = b"not a real exploration, but faithful bytes".to_vec();
+        store
+            .put(fp(7), RecordKind::Exploration, "bridge", 1, 9, &payload)
+            .unwrap();
+        assert_eq!(
+            store.get(fp(7), RecordKind::Exploration).as_deref(),
+            Some(payload.as_slice())
+        );
+        assert_eq!(store.hits(), 1);
+        // Same key, different kind: distinct record slot.
+        assert!(store.get(fp(7), RecordKind::Contract).is_none());
+        assert_eq!(store.misses(), 1);
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].nf_name, "bridge");
+        assert_eq!(entries[0].n_paths, 9);
+        assert_eq!(entries[0].level, 1);
+        assert_eq!(entries[0].payload_len, payload.len() as u64);
+        assert!(store.evict(fp(7), RecordKind::Exploration).unwrap());
+        assert!(!store.evict(fp(7), RecordKind::Exploration).unwrap());
+        assert!(store.get(fp(7), RecordKind::Exploration).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_records_are_misses() {
+        let store = temp_store("corrupt");
+        store
+            .put(fp(1), RecordKind::Exploration, "nat", 0, 8, b"payload!")
+            .unwrap();
+        let path = store.path_of(fp(1), RecordKind::Exploration);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte: checksum must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.get(fp(1), RecordKind::Exploration).is_none());
+        // Truncated file.
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.get(fp(1), RecordKind::Exploration).is_none());
+        // list() must skip it rather than fail.
+        assert!(store.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let store = temp_store("version");
+        store
+            .put(fp(2), RecordKind::Contract, "lb", 1, 8, b"vvv")
+            .unwrap();
+        let path = store.path_of(fp(2), RecordKind::Contract);
+        let mut bytes = fs::read(&path).unwrap();
+        // Bump the version field (offset 4, after the magic).
+        bytes[4] = bytes[4].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.get(fp(2), RecordKind::Contract).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn renamed_records_cannot_impersonate() {
+        let store = temp_store("rename");
+        store
+            .put(fp(3), RecordKind::Exploration, "lpm", 0, 4, b"abc")
+            .unwrap();
+        // Copy record 3's bytes under key 4's file name.
+        let from = store.path_of(fp(3), RecordKind::Exploration);
+        let to = store.path_of(fp(4), RecordKind::Exploration);
+        fs::copy(&from, &to).unwrap();
+        assert!(
+            store.get(fp(4), RecordKind::Exploration).is_none(),
+            "embedded fingerprint must veto the file name"
+        );
+        assert!(store.get(fp(3), RecordKind::Exploration).is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

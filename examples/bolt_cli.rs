@@ -1,0 +1,426 @@
+//! `bolt` — the contract store as a command-line artifact pipeline.
+//!
+//! Contracts are compile-once/query-forever artifacts: `explore` derives
+//! and persists them, `list` inspects the store, `query` answers
+//! performance questions from stored records (warm runs never touch the
+//! solver), and `diff` compares two stored contracts.
+//!
+//! ```text
+//! cargo run --release --example bolt_cli -- explore --all
+//! cargo run --release --example bolt_cli -- list
+//! cargo run --release --example bolt_cli -- query --nf bridge --pcv e=16 --pcv t=4
+//! cargo run --release --example bolt_cli -- diff --a firewall --b static_router
+//! cargo run --release --example bolt_cli -- evict --nf bridge --level nf-only
+//! ```
+//!
+//! The store directory comes from `--store DIR`, else `BOLT_STORE_DIR`,
+//! else `.bolt-store`.
+
+use std::collections::BTreeSet;
+use std::process::exit;
+
+use bolt::core::store::{level_tag, store_key, RecordKind, StoreExt};
+use bolt::core::{ClassSpec, InputClass, NfContract};
+use bolt::expr::PcvAssignment;
+use bolt::nfs::nat::{AllocKind, NatConfig};
+use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
+use bolt::see::StackLevel;
+use bolt::trace::Metric;
+use bolt::{ContractStore, NetworkFunction};
+
+const NF_NAMES: [&str; 8] = [
+    "bridge",
+    "example_router",
+    "firewall",
+    "lb",
+    "lpm_router",
+    "nat-a",
+    "nat-b",
+    "static_router",
+];
+
+/// Dispatch a generic body over the NF named on the command line.
+macro_rules! with_nf {
+    ($name:expr, $nf:ident => $body:block) => {
+        match $name {
+            "bridge" => {
+                let $nf = Bridge::default();
+                $body
+            }
+            "example_router" => {
+                let $nf = ExampleRouter::default();
+                $body
+            }
+            "firewall" => {
+                let $nf = Firewall::default();
+                $body
+            }
+            "lb" => {
+                let $nf = LoadBalancer::default();
+                $body
+            }
+            "lpm_router" => {
+                let $nf = LpmRouter::default();
+                $body
+            }
+            "nat" | "nat-a" => {
+                let $nf = Nat::with(NatConfig::default(), AllocKind::A);
+                $body
+            }
+            "nat-b" => {
+                let $nf = Nat::with(NatConfig::default(), AllocKind::B);
+                $body
+            }
+            "static_router" => {
+                let $nf = StaticRouter::default();
+                $body
+            }
+            other => die(&format!(
+                "unknown NF {other:?}; known: {}",
+                NF_NAMES.join(", ")
+            )),
+        }
+    };
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bolt: {msg}");
+    exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bolt_cli <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 explore  --nf NAME | --all   [--level nf-only|full-stack|both] [--store DIR]\n\
+         \x20 list     [--store DIR]\n\
+         \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR]\n\
+         \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR]\n\
+         \x20 evict    --nf NAME [--level L|both] [--store DIR]\n\
+         \n\
+         NAME   ∈ {{{}}}\n\
+         LEVEL  ∈ {{nf-only, full-stack}} (default: full-stack)\n\
+         M      ∈ {{instructions, mem-accesses, cycles}} (default: instructions)\n\
+         store  --store DIR, else $BOLT_STORE_DIR, else .bolt-store",
+        NF_NAMES.join(", ")
+    );
+    exit(2);
+}
+
+fn parse_level(s: &str) -> StackLevel {
+    match s {
+        "nf-only" => StackLevel::NfOnly,
+        "full-stack" => StackLevel::FullStack,
+        _ => die(&format!("bad level {s:?} (nf-only | full-stack)")),
+    }
+}
+
+fn parse_metric(s: &str) -> Metric {
+    match s {
+        "instructions" | "ic" => Metric::Instructions,
+        "mem-accesses" | "ma" => Metric::MemAccesses,
+        "cycles" => Metric::Cycles,
+        _ => die(&format!(
+            "bad metric {s:?} (instructions | mem-accesses | cycles)"
+        )),
+    }
+}
+
+fn level_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "nf-only",
+        1 => "full-stack",
+        _ => "?",
+    }
+}
+
+/// Parsed command-line options (a flat bag; each command picks what it
+/// needs).
+#[derive(Default)]
+struct Opts {
+    nf: Option<String>,
+    all: bool,
+    level: Option<String>,
+    metric: Option<String>,
+    store: Option<String>,
+    pcvs: Vec<(String, u64)>,
+    tag: Option<String>,
+    a: Option<String>,
+    b: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--nf" => o.nf = Some(val("--nf")),
+            "--all" => o.all = true,
+            "--level" => o.level = Some(val("--level")),
+            "--metric" => o.metric = Some(val("--metric")),
+            "--store" => o.store = Some(val("--store")),
+            "--tag" => o.tag = Some(val("--tag")),
+            "--a" => o.a = Some(val("--a")),
+            "--b" => o.b = Some(val("--b")),
+            "--pcv" => {
+                let kv = val("--pcv");
+                let (name, v) = kv
+                    .split_once('=')
+                    .unwrap_or_else(|| die(&format!("bad --pcv {kv:?} (want name=value)")));
+                let v = v
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| die(&format!("bad PCV value in {kv:?}")));
+                o.pcvs.push((name.to_string(), v));
+            }
+            other => die(&format!("unknown option {other:?}")),
+        }
+    }
+    o
+}
+
+fn open_store(o: &Opts) -> ContractStore {
+    let dir = o
+        .store
+        .clone()
+        .or_else(|| {
+            std::env::var("BOLT_STORE_DIR")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
+        .unwrap_or_else(|| ".bolt-store".to_string());
+    ContractStore::open(&dir).unwrap_or_else(|e| die(&format!("cannot open store at {dir:?}: {e}")))
+}
+
+fn levels_of(o: &Opts) -> Vec<StackLevel> {
+    match o.level.as_deref() {
+        None | Some("full-stack") => vec![StackLevel::FullStack],
+        Some("both") => vec![StackLevel::NfOnly, StackLevel::FullStack],
+        Some(l) => vec![parse_level(l)],
+    }
+}
+
+/// Get-or-explore one NF and persist both the exploration and contract
+/// records; prints a one-line summary.
+fn explore_one<N: NetworkFunction>(store: &ContractStore, name: &str, nf: N, level: StackLevel) {
+    let key = store_key(&nf, level);
+    let ex = store.get_or_explore(&nf, level);
+    let n_paths = ex.result.paths.len();
+    let source = if ex.cached { "warm" } else { "explored" };
+    let contract = ex.contract();
+    store
+        .put_contract(key, name, level, &contract.inner)
+        .unwrap_or_else(|e| die(&format!("cannot write contract record: {e}")));
+    println!(
+        "{name:>14} {:>10} {source:>8}  {n_paths:>3} paths  key {key}",
+        level_name(level_tag(level)),
+    );
+}
+
+fn cmd_explore(o: &Opts) {
+    let store = open_store(o);
+    let levels = levels_of(o);
+    let names: Vec<&str> = if o.all {
+        NF_NAMES.to_vec()
+    } else {
+        match o.nf.as_deref() {
+            Some(n) => vec![n],
+            None => die("explore needs --nf NAME or --all"),
+        }
+    };
+    for name in names {
+        for &level in &levels {
+            with_nf!(name, nf => { explore_one(&store, name, nf, level); });
+        }
+    }
+}
+
+fn cmd_list(o: &Opts) {
+    let store = open_store(o);
+    let entries = store
+        .list()
+        .unwrap_or_else(|e| die(&format!("cannot list store: {e}")));
+    if entries.is_empty() {
+        println!("store at {:?} is empty", store.dir());
+        return;
+    }
+    println!(
+        "{:>14} {:>10} {:>11} {:>6} {:>9}  key",
+        "nf", "level", "kind", "paths", "bytes"
+    );
+    for e in entries {
+        let kind = match e.kind {
+            RecordKind::Exploration => "exploration",
+            RecordKind::Contract => "contract",
+        };
+        println!(
+            "{:>14} {:>10} {kind:>11} {:>6} {:>9}  {}",
+            e.nf_name,
+            level_name(e.level),
+            e.n_paths,
+            e.payload_len,
+            e.fingerprint
+        );
+    }
+}
+
+fn query_one<N: NetworkFunction>(store: &ContractStore, nf: N, o: &Opts, level: StackLevel) {
+    let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
+    let ex = store.get_or_explore(&nf, level);
+    let source = if ex.cached { "warm" } else { "explored" };
+    let mut contract = ex.contract();
+    let mut env = PcvAssignment::new();
+    for (name, v) in &o.pcvs {
+        match contract.reg.pcvs.lookup(name) {
+            Some(id) => {
+                env.set(id, *v);
+            }
+            None => {
+                let known: Vec<&str> = contract.reg.pcvs.iter().map(|(_, n)| n).collect();
+                die(&format!(
+                    "unknown PCV {name:?}; this contract knows: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    let class = match &o.tag {
+        Some(t) => InputClass::new(
+            format!("tag:{t}"),
+            ClassSpec::Tag(bolt::store::intern_tag(t)),
+        ),
+        None => InputClass::unconstrained(),
+    };
+    match contract.query(&class, metric, &env) {
+        None => println!("no path of {} is compatible with {}", nf.name(), class.name),
+        Some(q) => {
+            let path = &contract.paths()[q.path_index];
+            println!(
+                "{} @ {} ({source}), class {}, metric {metric}:",
+                nf.name(),
+                level_name(level_tag(level)),
+                class.name
+            );
+            println!("  worst path : #{} tags {:?}", q.path_index, path.tags);
+            println!("  expression : {}", contract.display_expr(&q.expr));
+            println!("  prediction : {} {metric}", q.value);
+        }
+    }
+}
+
+fn cmd_query(o: &Opts) {
+    let store = open_store(o);
+    let name = o.nf.as_deref().unwrap_or_else(|| die("query needs --nf"));
+    let level = levels_of(o)[0];
+    with_nf!(name, nf => { query_one(&store, nf, o, level); });
+}
+
+/// `NF[:LEVEL]` → (name, level).
+fn parse_side(s: &str) -> (&str, StackLevel) {
+    match s.split_once(':') {
+        Some((n, l)) => (n, parse_level(l)),
+        None => (s, StackLevel::FullStack),
+    }
+}
+
+/// Stored contract for one diff side (get-or-derive-and-store).
+fn side_contract(store: &ContractStore, side: &str) -> NfContract {
+    let (name, level) = parse_side(side);
+    with_nf!(name, nf => {
+        let key = store_key(&nf, level);
+        if let Some(c) = store.get_contract(key) {
+            return c;
+        }
+        let contract = store.get_or_explore(&nf, level).contract().into_inner();
+        store
+            .put_contract(key, name, level, &contract)
+            .unwrap_or_else(|e| die(&format!("cannot write contract record: {e}")));
+        contract
+    })
+}
+
+fn cmd_diff(o: &Opts) {
+    let store = open_store(o);
+    let (sa, sb) = match (&o.a, &o.b) {
+        (Some(a), Some(b)) => (a.as_str(), b.as_str()),
+        _ => die("diff needs --a NF[:LEVEL] and --b NF[:LEVEL]"),
+    };
+    let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
+    let ca = side_contract(&store, sa);
+    let cb = side_contract(&store, sb);
+    let env = PcvAssignment::new();
+    let worst = |c: &NfContract| {
+        c.paths
+            .iter()
+            .map(|p| p.expr(metric).eval(&env))
+            .max()
+            .unwrap_or(0)
+    };
+    let tags = |c: &NfContract| -> BTreeSet<&'static str> {
+        c.paths
+            .iter()
+            .flat_map(|p| p.tags.iter().copied())
+            .collect()
+    };
+    let (wa, wb) = (worst(&ca), worst(&cb));
+    println!("diff {sa} vs {sb} ({metric}, PCVs all 0):");
+    println!("  paths      : {} vs {}", ca.paths.len(), cb.paths.len());
+    println!(
+        "  worst case : {wa} vs {wb} ({:+})",
+        wb as i128 - wa as i128
+    );
+    let (ta, tb) = (tags(&ca), tags(&cb));
+    let only_a: Vec<&str> = ta.difference(&tb).copied().collect();
+    let only_b: Vec<&str> = tb.difference(&ta).copied().collect();
+    if !only_a.is_empty() {
+        println!("  tags only in {sa}: {only_a:?}");
+    }
+    if !only_b.is_empty() {
+        println!("  tags only in {sb}: {only_b:?}");
+    }
+    if only_a.is_empty() && only_b.is_empty() {
+        println!("  tag vocabularies agree");
+    }
+}
+
+fn cmd_evict(o: &Opts) {
+    let store = open_store(o);
+    let name = o.nf.as_deref().unwrap_or_else(|| die("evict needs --nf"));
+    for &level in &levels_of(o) {
+        with_nf!(name, nf => {
+            let key = store_key(&nf, level);
+            let mut removed = false;
+            for kind in [RecordKind::Exploration, RecordKind::Contract] {
+                removed |= store
+                    .evict(key, kind)
+                    .unwrap_or_else(|e| die(&format!("evict failed: {e}")));
+            }
+            println!(
+                "{name} @ {}: {}",
+                level_name(level_tag(level)),
+                if removed { "evicted" } else { "no record" }
+            );
+        });
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let o = parse_opts(rest);
+    match cmd.as_str() {
+        "explore" => cmd_explore(&o),
+        "list" => cmd_list(&o),
+        "query" => cmd_query(&o),
+        "diff" => cmd_diff(&o),
+        "evict" => cmd_evict(&o),
+        _ => usage(),
+    }
+}

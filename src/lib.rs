@@ -55,12 +55,14 @@ pub use bolt_expr as expr;
 pub use bolt_hw as hw;
 pub use bolt_nfs as nfs;
 pub use bolt_solver as solver;
+pub use bolt_store as store;
 pub use bolt_trace as trace;
 pub use bolt_workloads as workloads;
 pub use dpdk_sim as dpdk;
 pub use nf_lib as lib;
 
 pub use bolt_core::nf::{AbstractNf, Bolt, NetworkFunction};
+pub use bolt_core::store::{ContractStore, StoreExt};
 pub use bolt_core::Pipeline;
 
 /// Re-export of the symbolic/concrete execution engine with the stack
