@@ -270,6 +270,7 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
 pub struct Pipeline<'s> {
     stages: Vec<Box<dyn AbstractNf>>,
     store: Option<&'s bolt_store::ContractStore>,
+    threads: Option<usize>,
 }
 
 impl<'s> Pipeline<'s> {
@@ -278,6 +279,7 @@ impl<'s> Pipeline<'s> {
         Pipeline {
             stages: Vec::new(),
             store: None,
+            threads: None,
         }
     }
 
@@ -291,6 +293,14 @@ impl<'s> Pipeline<'s> {
     /// exploration.
     pub fn with_store(mut self, store: &'s bolt_store::ContractStore) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Explore every stage on `n` worker threads (1 = sequential).
+    /// Overrides the ambient `BOLT_THREADS`; stage contracts are
+    /// bit-identical at any count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
         self
     }
 
@@ -313,6 +323,7 @@ impl<'s> Pipeline<'s> {
     /// explored at `level`, through the attached or ambient store when
     /// one is configured).
     pub fn contracts(&self, level: StackLevel) -> Vec<NfContract> {
+        let threads = self.threads.unwrap_or_else(crate::nf::ambient_threads);
         let env;
         let store = match self.store {
             Some(s) => Some(s),
@@ -324,8 +335,8 @@ impl<'s> Pipeline<'s> {
         self.stages
             .iter()
             .map(|s| match store {
-                Some(st) => s.explore_contract_cached(level, st),
-                None => s.explore_contract(level),
+                Some(st) => s.explore_contract_cached_threads(level, st, threads),
+                None => s.explore_contract_threads(level, threads),
             })
             .collect()
     }

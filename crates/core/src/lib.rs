@@ -45,5 +45,7 @@ pub use chain::{compose, naive_add, Pipeline};
 pub use classes::{ClassSpec, InputClass};
 pub use codec::{decode_contract, encode_contract};
 pub use contract::{generate, NfContract, PathContract, QueryResult};
-pub use nf::{AbstractNf, Bolt, Contract, Exploration, NetworkFunction};
+pub use nf::{
+    ambient_threads, AbstractNf, Bolt, Contract, Exploration, NetworkFunction, THREADS_ENV,
+};
 pub use store::{env_store, store_key, ContractStore, Fingerprint, Fingerprinter, StoreExt};

@@ -48,6 +48,20 @@ use crate::store::StoreExt;
 /// their own.
 pub const BURST_CHUNK: usize = 32;
 
+/// Environment variable naming the ambient exploration thread count.
+pub const THREADS_ENV: &str = "BOLT_THREADS";
+
+/// The ambient exploration thread count: `BOLT_THREADS` when set to a
+/// positive integer, else 1 (sequential — all existing behaviour
+/// unchanged). Exploration output is bit-identical at any value; the
+/// knob only trades cores for wall-clock.
+pub fn ambient_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// A network function: configuration plus the Vigor-style split into
 /// stateful library parts (registered, modelled, contracted) and
 /// stateless packet logic (written once, executed symbolically and
@@ -58,8 +72,9 @@ pub const BURST_CHUNK: usize = 32;
 /// demand by [`NetworkFunction::state`].
 pub trait NetworkFunction {
     /// Handle to the NF's registered stateful parts (data-structure ids
-    /// and PCVs). `()` for stateless NFs.
-    type Ids: Copy + 'static;
+    /// and PCVs). `()` for stateless NFs. `Sync` because exploration
+    /// worker threads share the handle while re-executing the NF body.
+    type Ids: Copy + Sync + 'static;
 
     /// Concrete instrumented state (the production build's data
     /// structures).
@@ -133,14 +148,27 @@ pub trait NetworkFunction {
 
     /// Run the analysis build: enumerate every feasible path of this NF
     /// at the given stack level (Algorithm 2, lines 2–3). Provided for
-    /// every NF.
+    /// every NF. Honours the ambient `BOLT_THREADS` thread count
+    /// ([`ambient_threads`]); output is bit-identical at any value.
     fn explore(&self, level: StackLevel) -> Exploration<Self::Ids>
     where
-        Self: Sized,
+        Self: Sized + Sync,
+    {
+        self.explore_threads(level, ambient_threads())
+    }
+
+    /// [`NetworkFunction::explore`] with an explicit worker-thread
+    /// count (1 = the sequential worklist). Exploration output is
+    /// bit-identical at any count; see [`Explorer::explore_par`].
+    fn explore_threads(&self, level: StackLevel, threads: usize) -> Exploration<Self::Ids>
+    where
+        Self: Sized + Sync,
     {
         let mut reg = DsRegistry::new();
         let ids = self.register(&mut reg);
-        let result = Explorer::new().explore(|ctx| {
+        let mut explorer = Explorer::new();
+        explorer.threads = threads;
+        let result = explorer.explore_par(|ctx| {
             sym_process_packet(ctx, level, self.packet_len(), |ctx, mbuf| {
                 self.sym_process(ctx, ids, mbuf);
             });
@@ -157,7 +185,7 @@ pub trait NetworkFunction {
     /// Explore and generate in one step (`explore(level).contract()`).
     fn contract(&self, level: StackLevel) -> Contract<Self::Ids>
     where
-        Self: Sized,
+        Self: Sized + Sync,
     {
         self.explore(level).contract()
     }
@@ -169,16 +197,23 @@ pub trait NetworkFunction {
 /// with [`Bolt::with_store`] — or ambiently via the `BOLT_STORE_DIR`
 /// environment variable — and skips the explorer (and every solver
 /// query) on a warm hit. With no store, it explores fresh, exactly as
-/// before.
+/// before. [`Bolt::threads`] sets the exploration worker-thread count
+/// (default: ambient `BOLT_THREADS`, else 1); output is bit-identical
+/// at any count.
 pub struct Bolt<'s, N> {
     nf: N,
     store: Option<&'s ContractStore>,
+    threads: Option<usize>,
 }
 
-impl<'s, N: NetworkFunction> Bolt<'s, N> {
+impl<'s, N: NetworkFunction + Sync> Bolt<'s, N> {
     /// Wrap a network function descriptor.
     pub fn nf(nf: N) -> Self {
-        Bolt { nf, store: None }
+        Bolt {
+            nf,
+            store: None,
+            threads: None,
+        }
     }
 
     /// Attach a persistent contract store: `explore` becomes
@@ -188,16 +223,25 @@ impl<'s, N: NetworkFunction> Bolt<'s, N> {
         self
     }
 
+    /// Explore on `n` worker threads (1 = sequential). Overrides the
+    /// ambient `BOLT_THREADS`. The knob trades cores for wall-clock
+    /// only — exploration output is bit-identical at any value.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Run the analysis build at a stack level (through the attached or
     /// ambient store, when one is configured).
     pub fn explore(self, level: StackLevel) -> Exploration<N::Ids> {
+        let threads = self.threads.unwrap_or_else(ambient_threads);
         if let Some(store) = self.store {
-            return store.get_or_explore(&self.nf, level);
+            return store.get_or_explore_threads(&self.nf, level, threads);
         }
         if let Some(store) = crate::store::env_store() {
-            return store.get_or_explore(&self.nf, level);
+            return store.get_or_explore_threads(&self.nf, level, threads);
         }
-        self.nf.explore(level)
+        self.nf.explore_threads(level, threads)
     }
 
     /// The wrapped descriptor.
@@ -322,25 +366,52 @@ pub trait AbstractNf {
     /// The NF's short name.
     fn name(&self) -> &'static str;
 
-    /// Run the analysis build and generate the raw contract.
-    fn explore_contract(&self, level: StackLevel) -> NfContract;
+    /// Run the analysis build and generate the raw contract, on
+    /// `threads` exploration workers (1 = sequential; output is
+    /// bit-identical at any count).
+    fn explore_contract_threads(&self, level: StackLevel, threads: usize) -> NfContract;
 
-    /// Like [`AbstractNf::explore_contract`], but get-or-explore against
-    /// a persistent contract store (warm hits skip the explorer and the
-    /// solver entirely).
-    fn explore_contract_cached(&self, level: StackLevel, store: &ContractStore) -> NfContract;
+    /// Like [`AbstractNf::explore_contract_threads`], but get-or-explore
+    /// against a persistent contract store (warm hits skip the explorer
+    /// and the solver entirely).
+    fn explore_contract_cached_threads(
+        &self,
+        level: StackLevel,
+        store: &ContractStore,
+        threads: usize,
+    ) -> NfContract;
+
+    /// [`AbstractNf::explore_contract_threads`] at the ambient
+    /// `BOLT_THREADS` count.
+    fn explore_contract(&self, level: StackLevel) -> NfContract {
+        self.explore_contract_threads(level, ambient_threads())
+    }
+
+    /// [`AbstractNf::explore_contract_cached_threads`] at the ambient
+    /// `BOLT_THREADS` count.
+    fn explore_contract_cached(&self, level: StackLevel, store: &ContractStore) -> NfContract {
+        self.explore_contract_cached_threads(level, store, ambient_threads())
+    }
 }
 
-impl<N: NetworkFunction> AbstractNf for N {
+impl<N: NetworkFunction + Sync> AbstractNf for N {
     fn name(&self) -> &'static str {
         NetworkFunction::name(self)
     }
 
-    fn explore_contract(&self, level: StackLevel) -> NfContract {
-        self.explore(level).contract().into_inner()
+    fn explore_contract_threads(&self, level: StackLevel, threads: usize) -> NfContract {
+        self.explore_threads(level, threads).contract().into_inner()
     }
 
-    fn explore_contract_cached(&self, level: StackLevel, store: &ContractStore) -> NfContract {
-        store.get_or_explore(self, level).contract().into_inner()
+    fn explore_contract_cached_threads(
+        &self,
+        level: StackLevel,
+        store: &ContractStore,
+        threads: usize,
+    ) -> NfContract {
+        store
+            .get_or_explore_threads(self, level, threads)
+            .contract()
+            .into_inner()
     }
 }

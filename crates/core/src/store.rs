@@ -18,7 +18,9 @@ use std::io;
 use dpdk_sim::StackLevel;
 use nf_lib::registry::DsRegistry;
 
-pub use bolt_store::{ContractStore, Fingerprint, Fingerprinter, RecordKind, StoreEntry};
+pub use bolt_store::{
+    ContractStore, Fingerprint, Fingerprinter, RecordKind, StoreEntry, SweepReport,
+};
 
 use crate::codec::{decode_contract, encode_contract};
 use crate::contract::NfContract;
@@ -80,8 +82,25 @@ pub trait StoreExt {
     /// re-registering the NF's stateful parts is the only work, no
     /// explorer run, no solver query. Cold path: explore, save the
     /// record, and return the fresh result. The returned
-    /// [`Exploration::cached`] flag says which happened.
-    fn get_or_explore<N: NetworkFunction>(&self, nf: &N, level: StackLevel) -> Exploration<N::Ids>;
+    /// [`Exploration::cached`] flag says which happened. Explores at
+    /// the ambient `BOLT_THREADS` count.
+    fn get_or_explore<N: NetworkFunction + Sync>(
+        &self,
+        nf: &N,
+        level: StackLevel,
+    ) -> Exploration<N::Ids> {
+        self.get_or_explore_threads(nf, level, crate::nf::ambient_threads())
+    }
+
+    /// [`StoreExt::get_or_explore`] with an explicit exploration
+    /// worker-thread count for the cold path. Exploration output — and
+    /// therefore the persisted record — is bit-identical at any count.
+    fn get_or_explore_threads<N: NetworkFunction + Sync>(
+        &self,
+        nf: &N,
+        level: StackLevel,
+        threads: usize,
+    ) -> Exploration<N::Ids>;
 
     /// Fetch and decode a stored contract record.
     fn get_contract(&self, key: Fingerprint) -> Option<NfContract>;
@@ -97,7 +116,12 @@ pub trait StoreExt {
 }
 
 impl StoreExt for ContractStore {
-    fn get_or_explore<N: NetworkFunction>(&self, nf: &N, level: StackLevel) -> Exploration<N::Ids> {
+    fn get_or_explore_threads<N: NetworkFunction + Sync>(
+        &self,
+        nf: &N,
+        level: StackLevel,
+        threads: usize,
+    ) -> Exploration<N::Ids> {
         let key = store_key(nf, level);
         if let Some(payload) = self.get(key, RecordKind::Exploration) {
             match bolt_see::codec::decode_result(&payload) {
@@ -120,7 +144,7 @@ impl StoreExt for ContractStore {
                 }
             }
         }
-        let ex = nf.explore(level);
+        let ex = nf.explore_threads(level, threads);
         let payload = bolt_see::codec::encode_result(&ex.result);
         // A failed write costs only the warm start, never the result.
         let _ = self.put(

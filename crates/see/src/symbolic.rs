@@ -37,6 +37,26 @@ pub struct ExploreShared {
     sym_registry: HashMap<(String, u32), SymId>,
 }
 
+impl ExploreShared {
+    /// Mint (or, when an earlier run already minted it, reuse) the
+    /// symbol for `name` in `pool`. Shared by in-run minting
+    /// ([`SymbolicCtx`]'s lazy packet fields and model `fresh` calls)
+    /// and by the parallel committer, which resolves worker-local
+    /// symbols through the same registry while absorbing a private pool
+    /// — both paths therefore assign identical ids in identical order.
+    pub fn sym_for(&mut self, pool: &mut TermPool, name: &str, w: Width) -> TermRef {
+        let key = (name.to_string(), w.bits());
+        if let Some(&id) = self.sym_registry.get(&key) {
+            return pool.sym_ref(id);
+        }
+        let t = pool.fresh_sym(name, w);
+        if let bolt_expr::Term::Sym { id, .. } = *pool.get(t) {
+            self.sym_registry.insert(key, id);
+        }
+        t
+    }
+}
+
 /// Shared state: borrowed from the explorer, or owned by a standalone
 /// context.
 enum SharedRef<'p> {
@@ -251,16 +271,8 @@ impl<'p> SymbolicCtx<'p> {
     /// decision prefixes identical between siblings, which is what lets
     /// the feasibility memo and model cache hit across runs.
     fn mint_sym(&mut self, name: &str, w: Width) -> TermRef {
-        let shared = self.shared.get_mut();
-        let key = (name.to_string(), w.bits());
-        if let Some(&id) = shared.sym_registry.get(&key) {
-            return self.pool.sym_ref(id);
-        }
-        let t = self.pool.fresh_sym(name, w);
-        if let bolt_expr::Term::Sym { id, .. } = *self.pool.get(t) {
-            shared.sym_registry.insert(key, id);
-        }
-        t
+        let SymbolicCtx { shared, pool, .. } = self;
+        shared.get_mut().sym_for(pool, name, w)
     }
 
     /// Record a taken decision: remember the branch, append its

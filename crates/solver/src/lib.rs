@@ -47,7 +47,8 @@ use bolt_expr::{BinOp, SymId, Term, TermPool, TermRef, UnOp, Width};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// A satisfying assignment, total over the pool's symbols.
+/// A satisfying assignment, total over the queried constraints' symbols
+/// (anything else evaluates to 0 via [`Witness::get`]'s default).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Witness {
     values: HashMap<SymId, u64>,
@@ -708,8 +709,22 @@ impl Solver {
             s.completion_searches += 1;
         }
 
-        // Completion: every sym in the pool gets a value.
-        let all_syms: Vec<SymId> = (0..pool.sym_count() as SymId).collect();
+        // Completion: every symbol the constraints mention gets a value.
+        // The support — not the whole pool registry — so the verdict and
+        // the witness depend only on the constraint list itself: symbols
+        // other runs registered in a shared pool (or that a parallel
+        // committer absorbed before replaying this query) cannot perturb
+        // the RNG stream or the produced model. Symbols outside the
+        // support evaluate to 0 under the witness either way.
+        let all_syms: Vec<SymId> = {
+            let mut v: Vec<SymId> = constraints
+                .iter()
+                .flat_map(|&c| pool.syms_of(c).iter().copied())
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
         let mut seed = self.seed;
         for &c in constraints {
             seed = seed

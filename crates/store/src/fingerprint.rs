@@ -14,7 +14,9 @@ use std::fmt;
 /// (so a format change cold-starts the store rather than misreading old
 /// records) and written into every record header (so skewed files are
 /// rejected outright).
-pub const STORE_FORMAT_VERSION: u16 = 1;
+///
+/// History: 2 added the fixed-offset last-used stamp (LRU sweep).
+pub const STORE_FORMAT_VERSION: u16 = 2;
 
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = (1 << 88) + (1 << 8) + 0x3b;

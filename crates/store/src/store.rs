@@ -8,24 +8,53 @@
 //!
 //! Each file is `header ‖ payload`. The header carries a magic number,
 //! the store format version, the record kind and stack-level tag, the
-//! fingerprint (so a renamed file cannot impersonate another key), the
-//! NF name and path count (for `list` without decoding payloads), and an
-//! FNV-1a-64 checksum of the payload. [`ContractStore::get`] re-verifies
-//! all of it; anything that does not check out — wrong magic, skewed
-//! version, fingerprint mismatch, bad checksum, truncation — is treated
-//! as a miss, never returned. Writes go through a temp file + rename so
-//! a crashed writer can not leave a half-record under a valid name.
+//! fingerprint (so a renamed file cannot impersonate another key), a
+//! last-used stamp (bumped in place by [`ContractStore::get`], the food
+//! of [`ContractStore::sweep`]'s LRU ordering), the NF name and path
+//! count (for `list` without decoding payloads), and an FNV-1a-64
+//! checksum of the payload. [`ContractStore::get`] re-verifies all of
+//! it; anything that does not check out — wrong magic, skewed version,
+//! fingerprint mismatch, bad checksum, truncation — is treated as a
+//! miss, never returned. Writes go through a temp file + rename so a
+//! crashed writer can not leave a half-record under a valid name.
 
 use std::fs;
-use std::io;
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::fingerprint::{fnv64, Fingerprint, STORE_FORMAT_VERSION};
 use crate::wire::{ByteReader, ByteWriter, DecodeError};
 
 /// Record file magic.
 const MAGIC: &[u8; 4] = b"BLTS";
+
+/// Byte offset of the last-used stamp within a record file. Fixed (it
+/// sits before any variable-length field) so `get` can bump it with one
+/// in-place 8-byte write instead of rewriting the record:
+/// magic (4) + version (2) + kind (1) + level (1) + fingerprint (16).
+const STAMP_OFFSET: u64 = 24;
+
+/// A fresh last-used stamp: microseconds since the Unix epoch, forced
+/// strictly monotone within this process so that same-instant accesses
+/// still produce a total LRU order (what the sweep tests — and any
+/// single-host workflow — rely on).
+fn next_stamp() -> u64 {
+    static LAST: AtomicU64 = AtomicU64::new(0);
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut prev = LAST.load(Ordering::Relaxed);
+    loop {
+        let next = now.max(prev + 1);
+        match LAST.compare_exchange_weak(prev, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return next,
+            Err(p) => prev = p,
+        }
+    }
+}
 
 /// What a record's payload encodes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -72,10 +101,26 @@ pub struct StoreEntry {
     /// Stack-level tag (0 = NF-only, 1 = full-stack; `bolt_core` owns
     /// the mapping — the store stays NF-framework-agnostic).
     pub level: u8,
+    /// Last-used stamp (µs since the Unix epoch): set at `put`, bumped
+    /// in place by every verified `get`. Drives LRU sweep ordering.
+    pub last_used: u64,
     /// Number of feasible paths in the payload.
     pub n_paths: u64,
     /// Encoded payload size in bytes.
     pub payload_len: u64,
+}
+
+/// What one [`ContractStore::sweep`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Records kept (within the budget, most recently used first).
+    pub kept: usize,
+    /// Records evicted.
+    pub evicted: usize,
+    /// On-disk bytes of the kept records.
+    pub kept_bytes: u64,
+    /// On-disk bytes reclaimed.
+    pub evicted_bytes: u64,
 }
 
 /// The persistent contract store: a directory of checksummed,
@@ -120,9 +165,13 @@ impl ContractStore {
 
     /// Fetch a record's payload, fully verified. Any defect — missing
     /// file, bad magic, version skew, fingerprint or kind mismatch,
-    /// checksum failure, truncation — is a miss.
+    /// checksum failure, truncation — is a miss. A verified hit bumps
+    /// the record's last-used stamp in place (LRU food for
+    /// [`ContractStore::sweep`]); a failed bump is ignored — it only
+    /// ages the record's sweep priority, never the payload.
     pub fn get(&self, fp: Fingerprint, kind: RecordKind) -> Option<Vec<u8>> {
-        let res = fs::read(self.path_of(fp, kind)).ok().and_then(|bytes| {
+        let path = self.path_of(fp, kind);
+        let res = fs::read(&path).ok().and_then(|bytes| {
             verify_record(&bytes, Some(fp), Some(kind))
                 .ok()
                 .map(|(_, payload)| payload.to_vec())
@@ -130,6 +179,7 @@ impl ContractStore {
         match res {
             Some(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                let _ = bump_stamp(&path);
                 Some(payload)
             }
             None => {
@@ -156,6 +206,7 @@ impl ContractStore {
         w.u8(kind.tag());
         w.u8(level);
         w.u128(fp.0);
+        w.u64(next_stamp());
         w.str(nf_name);
         w.varint(n_paths);
         w.u64(fnv64(payload));
@@ -200,6 +251,103 @@ impl ContractStore {
             Err(e) => Err(e),
         }
     }
+
+    /// LRU sweep: evict least-recently-used records until the store's
+    /// records fit in `max_bytes` of disk (whole files, header
+    /// included). Most recently used records are kept first; a record
+    /// that would push the running total past the budget is evicted
+    /// even if a smaller, older one would still fit — the kept set is
+    /// exactly the MRU prefix that fits, so the budget is never
+    /// exceeded.
+    ///
+    /// Ranking reads only each record's fixed-size header prefix (one
+    /// small read per file, O(records) — not the payloads, which would
+    /// make every sweep O(store bytes)); payload integrity is `get`'s
+    /// job, and a checksum-corrupt record still occupies disk, so it
+    /// participates in the budget like any other. `.bolt` files whose
+    /// prefix does not parse — truncated garbage, records from an
+    /// older store format (whose keys nothing addresses any more) —
+    /// rank as least recently used, so they are the first evicted
+    /// under pressure instead of leaking disk forever. A record
+    /// another process removed mid-sweep counts as evicted, not as an
+    /// error.
+    pub fn sweep(&self, max_bytes: u64) -> io::Result<SweepReport> {
+        let mut records: Vec<(u64, u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("bolt") {
+                continue;
+            }
+            // Unparseable prefix → stamp 0: dead weight, evicted first.
+            let stamp = read_stamp(&path).unwrap_or(0);
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            records.push((stamp, meta.len(), path));
+        }
+        // MRU first; stamps are unique within a process, and the path
+        // tie-break keeps cross-process collisions deterministic.
+        records.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(&b.2)));
+        let mut report = SweepReport::default();
+        let mut first_err = None;
+        for (_, size, path) in records {
+            if report.kept_bytes + size <= max_bytes {
+                report.kept += 1;
+                report.kept_bytes += size;
+                continue;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    report.evicted += 1;
+                    report.evicted_bytes += size;
+                }
+                // Already gone (a concurrent sweep or evict won the
+                // race): the goal state, count it evicted.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    report.evicted += 1;
+                    report.evicted_bytes += size;
+                }
+                Err(e) => {
+                    // Keep sweeping what we can; report the first
+                    // failure after the pass completes.
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+}
+
+/// Read the last-used stamp and validate the fixed-size header prefix
+/// (magic, version, kind) of a record file, without touching the
+/// payload. `None` when the prefix is missing, short, or skewed.
+fn read_stamp(path: &Path) -> Option<u64> {
+    use std::io::Read;
+    let mut prefix = [0u8; STAMP_OFFSET as usize + 8];
+    let mut f = fs::File::open(path).ok()?;
+    f.read_exact(&mut prefix).ok()?;
+    let mut r = ByteReader::new(&prefix);
+    if r.raw(4).ok()? != MAGIC || r.u16().ok()? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    RecordKind::from_tag(r.u8().ok()?).ok()?;
+    let _level = r.u8().ok()?;
+    let _fp = r.u128().ok()?;
+    r.u64().ok()
+}
+
+/// Bump a record's last-used stamp in place (8-byte write at the fixed
+/// header offset).
+fn bump_stamp(path: &Path) -> io::Result<()> {
+    let mut f = fs::OpenOptions::new().write(true).open(path)?;
+    f.seek(SeekFrom::Start(STAMP_OFFSET))?;
+    f.write_all(&next_stamp().to_le_bytes())
 }
 
 /// Parse and verify a record file. `expect_fp`/`expect_kind` of `None`
@@ -226,6 +374,7 @@ fn verify_record(
     if expect_fp.is_some_and(|e| e != fp) {
         return Err(DecodeError::Malformed("fingerprint mismatch"));
     }
+    let last_used = r.u64()?;
     let nf_name = r.str()?.to_owned();
     let n_paths = r.varint()?;
     let checksum = r.u64()?;
@@ -240,6 +389,7 @@ fn verify_record(
             kind,
             nf_name,
             level,
+            last_used,
             n_paths,
             payload_len: payload.len() as u64,
         },
@@ -322,6 +472,133 @@ mod tests {
         bytes[4] = bytes[4].wrapping_add(1);
         fs::write(&path, &bytes).unwrap();
         assert!(store.get(fp(2), RecordKind::Contract).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn get_bumps_the_last_used_stamp() {
+        let store = temp_store("stamp");
+        store
+            .put(fp(1), RecordKind::Exploration, "bridge", 0, 1, b"a")
+            .unwrap();
+        let before = store.list().unwrap()[0].last_used;
+        assert!(before > 0, "put must stamp the record");
+        assert!(store.get(fp(1), RecordKind::Exploration).is_some());
+        let after = store.list().unwrap()[0].last_used;
+        assert!(after > before, "a verified get must bump the stamp");
+        // A miss (wrong kind) must bump nothing.
+        assert!(store.get(fp(1), RecordKind::Contract).is_none());
+        assert_eq!(store.list().unwrap()[0].last_used, after);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_keeps_mru_within_budget() {
+        let store = temp_store("sweep");
+        // Four same-size records, then touch two of them so recency is
+        // 2 > 0 > 3 > 1.
+        for i in 0..4u128 {
+            store
+                .put(fp(i), RecordKind::Exploration, "nf", 0, 1, &[0u8; 64])
+                .unwrap();
+        }
+        assert!(store.get(fp(0), RecordKind::Exploration).is_some());
+        assert!(store.get(fp(2), RecordKind::Exploration).is_some());
+        let file_size = fs::metadata(store.path_of(fp(0), RecordKind::Exploration))
+            .unwrap()
+            .len();
+        // Budget for exactly two records: the two most recently used
+        // survive, the other two go.
+        let report = store.sweep(2 * file_size).unwrap();
+        assert_eq!((report.kept, report.evicted), (2, 2));
+        assert_eq!(report.kept_bytes, 2 * file_size);
+        assert_eq!(report.evicted_bytes, 2 * file_size);
+        assert!(report.kept_bytes <= 2 * file_size, "budget respected");
+        assert!(store.get(fp(0), RecordKind::Exploration).is_some());
+        assert!(store.get(fp(2), RecordKind::Exploration).is_some());
+        assert!(store.get(fp(1), RecordKind::Exploration).is_none());
+        assert!(store.get(fp(3), RecordKind::Exploration).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_evicts_format_skewed_and_garbage_files_first() {
+        let store = temp_store("sweep-skew");
+        store
+            .put(fp(1), RecordKind::Exploration, "nf", 0, 1, &[0u8; 64])
+            .unwrap();
+        let good_size = fs::metadata(store.path_of(fp(1), RecordKind::Exploration))
+            .unwrap()
+            .len();
+        // A pre-upgrade record (version skew) and plain garbage, both
+        // under `.bolt` names nothing addresses: dead weight that must
+        // rank oldest and go first.
+        let skewed = store.path_of(fp(2), RecordKind::Exploration);
+        let mut bytes = fs::read(store.path_of(fp(1), RecordKind::Exploration)).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        fs::write(&skewed, &bytes).unwrap();
+        let garbage = store.dir().join("junk.bolt");
+        fs::write(&garbage, b"xx").unwrap();
+        let report = store.sweep(good_size).unwrap();
+        assert_eq!(report.kept, 1, "the live record fits the budget");
+        assert_eq!(report.evicted, 2, "skewed + garbage files are swept");
+        assert!(!skewed.exists());
+        assert!(!garbage.exists());
+        assert!(store.get(fp(1), RecordKind::Exploration).is_some());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_never_exceeds_the_budget() {
+        let store = temp_store("sweep-budget");
+        for i in 0..5u128 {
+            store
+                .put(
+                    fp(i),
+                    RecordKind::Exploration,
+                    "nf",
+                    0,
+                    1,
+                    &vec![0u8; 32 * (i as usize + 1)],
+                )
+                .unwrap();
+        }
+        let total: u64 = store
+            .list()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                fs::metadata(store.path_of(e.fingerprint, e.kind))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        for budget in [0, 1, total / 3, total / 2, total, total * 2] {
+            let report = store.sweep(budget).unwrap();
+            assert!(
+                report.kept_bytes <= budget,
+                "kept {} bytes under a {budget}-byte budget",
+                report.kept_bytes
+            );
+            // Sweeping to a larger budget later can't resurrect records,
+            // so re-seed for the next round.
+            for i in 0..5u128 {
+                store
+                    .put(
+                        fp(i),
+                        RecordKind::Exploration,
+                        "nf",
+                        0,
+                        1,
+                        &vec![0u8; 32 * (i as usize + 1)],
+                    )
+                    .unwrap();
+            }
+        }
+        // Budget 0 evicts everything.
+        let report = store.sweep(0).unwrap();
+        assert_eq!(report.kept, 0);
+        assert!(store.list().unwrap().is_empty());
         let _ = fs::remove_dir_all(store.dir());
     }
 

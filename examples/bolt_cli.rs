@@ -97,7 +97,7 @@ fn usage() -> ! {
          \x20 list     [--store DIR]\n\
          \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR]\n\
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR]\n\
-         \x20 evict    --nf NAME [--level L|both] [--store DIR]\n\
+         \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
          \n\
          NAME   ∈ {{{}}}\n\
          LEVEL  ∈ {{nf-only, full-stack}} (default: full-stack)\n\
@@ -148,6 +148,7 @@ struct Opts {
     tag: Option<String>,
     a: Option<String>,
     b: Option<String>,
+    budget: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -168,6 +169,13 @@ fn parse_opts(args: &[String]) -> Opts {
             "--tag" => o.tag = Some(val("--tag")),
             "--a" => o.a = Some(val("--a")),
             "--b" => o.b = Some(val("--b")),
+            "--budget" => {
+                let v = val("--budget");
+                o.budget = Some(
+                    v.parse::<u64>()
+                        .unwrap_or_else(|_| die(&format!("bad --budget {v:?} (want bytes)"))),
+                );
+            }
             "--pcv" => {
                 let kv = val("--pcv");
                 let (name, v) = kv
@@ -207,7 +215,12 @@ fn levels_of(o: &Opts) -> Vec<StackLevel> {
 
 /// Get-or-explore one NF and persist both the exploration and contract
 /// records; prints a one-line summary.
-fn explore_one<N: NetworkFunction>(store: &ContractStore, name: &str, nf: N, level: StackLevel) {
+fn explore_one<N: NetworkFunction + Sync>(
+    store: &ContractStore,
+    name: &str,
+    nf: N,
+    level: StackLevel,
+) {
     let key = store_key(&nf, level);
     let ex = store.get_or_explore(&nf, level);
     let n_paths = ex.result.paths.len();
@@ -269,7 +282,7 @@ fn cmd_list(o: &Opts) {
     }
 }
 
-fn query_one<N: NetworkFunction>(store: &ContractStore, nf: N, o: &Opts, level: StackLevel) {
+fn query_one<N: NetworkFunction + Sync>(store: &ContractStore, nf: N, o: &Opts, level: StackLevel) {
     let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
     let ex = store.get_or_explore(&nf, level);
     let source = if ex.cached { "warm" } else { "explored" };
@@ -390,7 +403,27 @@ fn cmd_diff(o: &Opts) {
 
 fn cmd_evict(o: &Opts) {
     let store = open_store(o);
-    let name = o.nf.as_deref().unwrap_or_else(|| die("evict needs --nf"));
+    if let Some(budget) = o.budget {
+        if o.nf.is_some() || o.level.is_some() {
+            // The sweep is store-wide LRU; silently ignoring --nf or
+            // --level would delete records the user meant to keep.
+            die("evict --budget sweeps the whole store; it cannot be combined with --nf/--level");
+        }
+        // LRU sweep: keep the most recently used records that fit in
+        // the byte budget, evict the rest.
+        let r = store
+            .sweep(budget)
+            .unwrap_or_else(|e| die(&format!("sweep failed: {e}")));
+        println!(
+            "sweep to {budget} bytes: kept {} record(s) ({} bytes), \
+             evicted {} ({} bytes reclaimed)",
+            r.kept, r.kept_bytes, r.evicted, r.evicted_bytes
+        );
+        return;
+    }
+    let name =
+        o.nf.as_deref()
+            .unwrap_or_else(|| die("evict needs --nf or --budget"));
     for &level in &levels_of(o) {
         with_nf!(name, nf => {
             let key = store_key(&nf, level);

@@ -8,7 +8,7 @@ use bolt::nfs::{nat, Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, N
 use bolt::see::StackLevel;
 use bolt::trace::Metric;
 
-fn dump<N: NetworkFunction>(name: &str, nf: N) {
+fn dump<N: NetworkFunction + Sync>(name: &str, nf: N) {
     for level in [StackLevel::NfOnly, StackLevel::FullStack] {
         let contract = nf.explore(level).contract();
         println!("== {name} {level:?}: {} paths", contract.paths().len());
