@@ -12,18 +12,48 @@
 //! Both contracts keep their own term pools; composition migrates terms
 //! into a joint pool, remapping every symbol to a fresh one prefixed by
 //! the NF's name.
+//!
+//! # Parallel composition
+//!
+//! With `threads > 1`, [`compose_with`] fans the upstream×downstream
+//! cross-product out over a worker pool in the same
+//! speculate-then-commit shape as the parallel path explorer: each
+//! worker composes one upstream path against every downstream candidate
+//! using a *private* [`TermPool`] and private solver state, and a
+//! sequential committer absorbs each private pool into the shared one
+//! (deterministic re-intern via [`TermPool::absorb_with`], symbols
+//! resolved by name) and *replays* the worker's assert/probe schedule
+//! against the shared [`SolverCache`]. Composed path order, constraint
+//! terms, verdicts, metrics, and [`SolverStats`] counters are therefore
+//! byte-equal at any thread count (speculative feasibility verdicts are
+//! classification-identical to the replay — `Unsat` comes only from the
+//! deterministic propagation/enumeration half of the solver — and the
+//! committer hard-asserts the agreement).
+//!
+//! # Memoized composition
+//!
+//! Composed contracts are content-addressed store records: each fold
+//! step of a [`Pipeline`] is keyed by
+//! [`crate::store::compose_key`] over the two operand fingerprints and
+//! the stack level, so a warm chain run decodes the final composed
+//! contract straight from disk — zero stage explorations, zero compose
+//! solver queries ([`ChainReport`] counts both).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use bolt_expr::{PcvAssignment, PerfExpr, Term, TermPool, TermRef};
 use bolt_see::symbolic::PacketField;
 use bolt_see::NfVerdict;
-use bolt_solver::{Solver, SolverCache, SolverCtx};
+use bolt_solver::{Solver, SolverCache, SolverCtx, SolverStats};
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
 use crate::contract::{NfContract, PathContract};
 use crate::nf::AbstractNf;
+use crate::store::{compose_key, Fingerprint, StoreExt};
 
 /// Rebuild a [`PacketField`] around a migrated symbol term.
 fn field_of(pool: &TermPool, offset: u64, bytes: u8, term: TermRef) -> Option<PacketField> {
@@ -98,114 +128,135 @@ fn add_perf(a: &[PerfExpr; 3], b: &[PerfExpr; 3]) -> [PerfExpr; 3] {
     [a[0].add(&b[0]), a[1].add(&b[1]), a[2].add(&b[2])]
 }
 
-/// Compose two contracts into the contract of `first → second`.
-///
-/// Both NFs must have been registered against the *same*
-/// [`nf_lib::registry::DsRegistry`]
-/// (or be stateless) so that PCV ids agree in the summed expressions.
-///
-/// Pair-compatibility checks run on an incremental [`SolverCtx`]: each
-/// upstream path's constraints are asserted once, and every downstream
-/// candidate is probed with a push/pop against that saved state, with
-/// verdicts and models memoised in a [`SolverCache`] shared across the
-/// whole cross-product.
-pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfContract {
-    let mut pool = TermPool::new();
-    let mut paths = Vec::new();
-    let mut mig_a = Migrator::new(&first.pool, "nf1");
-    let mut cache = SolverCache::new();
+/// Everything composing one upstream path produces, expressed in the
+/// refs of whichever pool [`compose_one`] ran against (the shared pool
+/// in the sequential fold, a worker-private pool under speculation).
+enum PaBody {
+    /// The upstream path ends the packet: the pair is the path alone.
+    Terminal {
+        constraints: Vec<TermRef>,
+        packet_fields: Vec<(u64, u8, TermRef)>,
+    },
+    /// The upstream path forwards: one entry per downstream candidate.
+    Forwarding {
+        ca: Vec<TermRef>,
+        pairs: Vec<PairSpec>,
+    },
+}
 
-    for pa in &first.paths {
-        let ca: Vec<TermRef> = pa
-            .constraints
-            .iter()
-            .map(|&t| mig_a.migrate(&mut pool, t))
-            .collect();
-        let forwards = matches!(
-            pa.verdict,
-            Some(NfVerdict::Forward(_)) | Some(NfVerdict::Flood)
-        );
-        if !forwards {
-            // The packet dies here: the pair is the upstream path alone.
-            let packet_fields = pa
-                .packet_fields
-                .iter()
-                .filter_map(|f| {
-                    let t = mig_a.migrate(&mut pool, f.term);
-                    field_of(&pool, f.offset, f.bytes, t)
-                })
-                .collect();
-            paths.push(PathContract {
-                index: paths.len(),
-                constraints: ca,
-                tags: pa.tags.clone(),
-                verdict: pa.verdict,
-                perf: pa.perf.clone(),
-                packet_fields,
-                final_packet: Vec::new(),
-            });
-            continue;
-        }
-        // Output packet state of the upstream path, migrated.
-        let out_fields: Vec<(u64, u8, TermRef)> = pa
-            .final_packet
-            .iter()
-            .map(|&(o, b, t)| (o, b, mig_a.migrate(&mut pool, t)))
-            .collect();
-        let in_fields: Vec<(u64, u8, TermRef)> = pa
+/// One upstream×downstream candidate pair.
+struct PairSpec {
+    /// Downstream path index.
+    bi: usize,
+    /// Constraints beyond `ca`: the migrated downstream constraints plus
+    /// the input/output link equalities (`cs = ca ++ tail`).
+    tail: Vec<TermRef>,
+    /// Feasibility verdict. Speculative when produced by a worker; the
+    /// committer's shared-cache replay re-derives it and hard-asserts
+    /// agreement.
+    feasible: bool,
+    /// Composed-path fields, recorded only for feasible pairs (the
+    /// sequential fold migrates them only then, and term-intern order
+    /// must match exactly).
+    packet_fields: Vec<(u64, u8, TermRef)>,
+    final_packet: Vec<(u64, u8, TermRef)>,
+}
+
+/// Compose one upstream path against every downstream path. This single
+/// body serves both engines — the sequential fold calls it against the
+/// shared pool/migrators/cache, speculation workers against private ones
+/// — so the operation (and term-intern) order cannot drift between them.
+///
+/// The upstream constraints are asserted once into an incremental
+/// [`SolverCtx`]; every downstream candidate extends that saved state
+/// under a push/pop checkpoint, with verdicts and models memoised in the
+/// given [`SolverCache`].
+fn compose_one(
+    pool: &mut TermPool,
+    mig_a: &mut Migrator<'_>,
+    mig_b: &mut Migrator<'_>,
+    pa: &PathContract,
+    second: &NfContract,
+    solver: &Solver,
+    cache: &mut SolverCache,
+) -> PaBody {
+    let ca: Vec<TermRef> = pa
+        .constraints
+        .iter()
+        .map(|&t| mig_a.migrate(pool, t))
+        .collect();
+    let forwards = matches!(
+        pa.verdict,
+        Some(NfVerdict::Forward(_)) | Some(NfVerdict::Flood)
+    );
+    if !forwards {
+        // The packet dies here: the pair is the upstream path alone.
+        let packet_fields = pa
             .packet_fields
             .iter()
-            .map(|f| (f.offset, f.bytes, mig_a.migrate(&mut pool, f.term)))
+            .map(|f| (f.offset, f.bytes, mig_a.migrate(pool, f.term)))
             .collect();
-        // The upstream constraints are asserted once; every downstream
-        // candidate extends this saved state under a checkpoint.
-        let mut upstream = SolverCtx::new(solver);
-        for &c in &ca {
-            upstream.assert_term(&pool, c);
+        return PaBody::Terminal {
+            constraints: ca,
+            packet_fields,
+        };
+    }
+    // Output packet state of the upstream path, migrated.
+    let out_fields: Vec<(u64, u8, TermRef)> = pa
+        .final_packet
+        .iter()
+        .map(|&(o, b, t)| (o, b, mig_a.migrate(pool, t)))
+        .collect();
+    let in_fields: Vec<(u64, u8, TermRef)> = pa
+        .packet_fields
+        .iter()
+        .map(|f| (f.offset, f.bytes, mig_a.migrate(pool, f.term)))
+        .collect();
+    // The upstream constraints are asserted once; every downstream
+    // candidate extends this saved state under a checkpoint.
+    let mut upstream = SolverCtx::new(solver);
+    for &c in &ca {
+        upstream.assert_term(pool, c);
+    }
+    let mut pairs = Vec::new();
+    for (bi, pb) in second.paths.iter().enumerate() {
+        let mut tail: Vec<TermRef> = pb
+            .constraints
+            .iter()
+            .map(|&t| mig_b.migrate(pool, t))
+            .collect();
+        // Link: the downstream NF's input fields equal the upstream
+        // NF's output (written value if any, else the pass-through
+        // input symbol).
+        for f in &pb.packet_fields {
+            let downstream = mig_b.migrate(pool, f.term);
+            let up = out_fields
+                .iter()
+                .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
+                .or_else(|| {
+                    in_fields
+                        .iter()
+                        .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
+                })
+                .map(|&(_, _, t)| t);
+            if let Some(u) = up {
+                tail.push(pool.eq(downstream, u));
+            }
         }
-        for pb in &second.paths {
-            let mut mig_b = Migrator::new(&second.pool, "nf2");
-            let mut cs = ca.clone();
-            cs.extend(pb.constraints.iter().map(|&t| mig_b.migrate(&mut pool, t)));
-            // Link: the downstream NF's input fields equal the upstream
-            // NF's output (written value if any, else the pass-through
-            // input symbol).
-            for f in &pb.packet_fields {
-                let downstream = mig_b.migrate(&mut pool, f.term);
-                let upstream = out_fields
-                    .iter()
-                    .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
-                    .or_else(|| {
-                        in_fields
-                            .iter()
-                            .find(|&&(o, b, _)| o == f.offset && b == f.bytes)
-                    })
-                    .map(|&(_, _, t)| t);
-                if let Some(u) = upstream {
-                    cs.push(pool.eq(downstream, u));
-                }
-            }
-            upstream.push();
-            for &c in &cs[ca.len()..] {
-                upstream.assert_term(&pool, c);
-            }
-            let feasible = upstream.current_feasible(&pool, &mut cache);
-            upstream.pop();
-            if !feasible {
-                continue;
-            }
-            let mut tags = pa.tags.clone();
-            tags.extend(pb.tags.iter().copied());
-            // The chain's input fields are the first NF's inputs, plus any
-            // field the second NF reads that passed through the first NF
-            // untouched (it is still free chain input).
-            let mut packet_fields: Vec<PacketField> = pa
+        upstream.push();
+        for &c in &tail {
+            upstream.assert_term(pool, c);
+        }
+        let feasible = upstream.current_feasible(pool, cache);
+        upstream.pop();
+        let (packet_fields, final_packet) = if feasible {
+            // The chain's input fields are the first NF's inputs, plus
+            // any field the second NF reads that passed through the
+            // first NF untouched (it is still free chain input).
+            let mut pf: Vec<(u64, u8, TermRef)> = pa
                 .packet_fields
                 .iter()
-                .filter_map(|f| {
-                    let t = mig_a.migrate(&mut pool, f.term);
-                    field_of(&pool, f.offset, f.bytes, t)
-                })
+                .map(|f| (f.offset, f.bytes, mig_a.migrate(pool, f.term)))
                 .collect();
             for f in &pb.packet_fields {
                 let nf1_touched = out_fields
@@ -215,38 +266,358 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
                         .iter()
                         .any(|&(o, b, _)| o == f.offset && b == f.bytes);
                 if !nf1_touched {
-                    let t = mig_b.migrate(&mut pool, f.term);
-                    if let Some(pf) = field_of(&pool, f.offset, f.bytes, t) {
-                        packet_fields.push(pf);
-                    }
+                    pf.push((f.offset, f.bytes, mig_b.migrate(pool, f.term)));
                 }
             }
-            // The chain's final packet: the second NF's writes overlay the
-            // first NF's final state.
-            let mut final_packet: Vec<(u64, u8, TermRef)> = out_fields.clone();
+            // The chain's final packet: the second NF's writes overlay
+            // the first NF's final state.
+            let mut fpk: Vec<(u64, u8, TermRef)> = out_fields.clone();
             for &(o, b, t) in &pb.final_packet {
-                let t = mig_b.migrate(&mut pool, t);
-                if let Some(slot) = final_packet
-                    .iter_mut()
-                    .find(|(fo, fb, _)| *fo == o && *fb == b)
-                {
+                let t = mig_b.migrate(pool, t);
+                if let Some(slot) = fpk.iter_mut().find(|(fo, fb, _)| *fo == o && *fb == b) {
                     slot.2 = t;
                 } else {
-                    final_packet.push((o, b, t));
+                    fpk.push((o, b, t));
                 }
             }
+            (pf, fpk)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        pairs.push(PairSpec {
+            bi,
+            tail,
+            feasible,
+            packet_fields,
+            final_packet,
+        });
+    }
+    PaBody::Forwarding { ca, pairs }
+}
+
+/// Turn one upstream path's composed body into [`PathContract`]s.
+/// Shared by the sequential fold and the parallel committer (which calls
+/// it after remapping the body into the shared pool), so composed path
+/// order and content are engine-independent.
+fn push_paths(
+    paths: &mut Vec<PathContract>,
+    pool: &TermPool,
+    pa: &PathContract,
+    second: &NfContract,
+    body: PaBody,
+) {
+    match body {
+        PaBody::Terminal {
+            constraints,
+            packet_fields,
+        } => {
             paths.push(PathContract {
                 index: paths.len(),
-                constraints: cs,
-                tags,
-                verdict: pb.verdict,
-                perf: add_perf(&pa.perf, &pb.perf),
-                packet_fields,
-                final_packet,
+                constraints,
+                tags: pa.tags.clone(),
+                verdict: pa.verdict,
+                perf: pa.perf.clone(),
+                packet_fields: packet_fields
+                    .iter()
+                    .filter_map(|&(o, b, t)| field_of(pool, o, b, t))
+                    .collect(),
+                final_packet: Vec::new(),
             });
         }
+        PaBody::Forwarding { ca, pairs } => {
+            for pair in pairs {
+                if !pair.feasible {
+                    continue;
+                }
+                let pb = &second.paths[pair.bi];
+                let mut constraints = ca.clone();
+                constraints.extend(pair.tail.iter().copied());
+                let mut tags = pa.tags.clone();
+                tags.extend(pb.tags.iter().copied());
+                paths.push(PathContract {
+                    index: paths.len(),
+                    constraints,
+                    tags,
+                    verdict: pb.verdict,
+                    perf: add_perf(&pa.perf, &pb.perf),
+                    packet_fields: pair
+                        .packet_fields
+                        .iter()
+                        .filter_map(|&(o, b, t)| field_of(pool, o, b, t))
+                        .collect(),
+                    final_packet: pair.final_packet,
+                });
+            }
+        }
+    }
+}
+
+/// Remap every term ref in a body through an absorb table.
+fn remap_body(body: PaBody, map: &[TermRef]) -> PaBody {
+    let r = |t: TermRef| map[t.index()];
+    let rv = |v: Vec<TermRef>| v.into_iter().map(r).collect();
+    let rf = |v: Vec<(u64, u8, TermRef)>| v.into_iter().map(|(o, b, t)| (o, b, r(t))).collect();
+    match body {
+        PaBody::Terminal {
+            constraints,
+            packet_fields,
+        } => PaBody::Terminal {
+            constraints: rv(constraints),
+            packet_fields: rf(packet_fields),
+        },
+        PaBody::Forwarding { ca, pairs } => PaBody::Forwarding {
+            ca: rv(ca),
+            pairs: pairs
+                .into_iter()
+                .map(|p| PairSpec {
+                    bi: p.bi,
+                    tail: rv(p.tail),
+                    feasible: p.feasible,
+                    packet_fields: rf(p.packet_fields),
+                    final_packet: rf(p.final_packet),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Compose two contracts into the contract of `first → second`.
+///
+/// Both NFs must have been registered against the *same*
+/// [`nf_lib::registry::DsRegistry`]
+/// (or be stateless) so that PCV ids agree in the summed expressions.
+///
+/// Runs sequentially with a private [`SolverCache`]; use
+/// [`compose_with`] to share a cache across a chain fold and to fan the
+/// path cross-product out over worker threads.
+pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfContract {
+    let mut cache = SolverCache::new();
+    compose_with(first, second, solver, &mut cache, 1)
+}
+
+/// [`compose`] with an explicit feasibility cache (shared across the
+/// fold steps of a chain, and the carrier of the compose-side
+/// [`SolverStats`]) and worker-thread count. Output — composed path
+/// order, constraint terms, verdicts, metrics, and the cache's stats
+/// counters — is bit-identical at any thread count.
+pub fn compose_with(
+    first: &NfContract,
+    second: &NfContract,
+    solver: &Solver,
+    cache: &mut SolverCache,
+    threads: usize,
+) -> NfContract {
+    if threads <= 1 {
+        return compose_seq(first, second, solver, cache);
+    }
+    compose_par(first, second, solver, cache, threads)
+}
+
+/// The sequential cross-product fold: one shared pool, shared migrators,
+/// pair-compatibility checks on an incremental [`SolverCtx`] against the
+/// shared cache.
+fn compose_seq(
+    first: &NfContract,
+    second: &NfContract,
+    solver: &Solver,
+    cache: &mut SolverCache,
+) -> NfContract {
+    let mut pool = TermPool::new();
+    let mut paths = Vec::new();
+    let mut mig_a = Migrator::new(&first.pool, "nf1");
+    let mut mig_b = Migrator::new(&second.pool, "nf2");
+    for pa in &first.paths {
+        let body = compose_one(&mut pool, &mut mig_a, &mut mig_b, pa, second, solver, cache);
+        push_paths(&mut paths, &pool, pa, second, body);
     }
     NfContract { pool, paths }
+}
+
+/// Hard ceiling on compose speculation workers, whatever the caller
+/// says (mirrors the explorer's clamp: a runaway `BOLT_THREADS` must
+/// degrade to oversubscription, never exhaust OS threads).
+const MAX_COMPOSE_WORKERS: usize = 256;
+
+/// One speculation slot of the parallel cross-product.
+enum Slot {
+    Pending,
+    Done(Box<(TermPool, PaBody)>),
+    /// The worker panicked; the committer re-runs the path inline so
+    /// the panic surfaces on its thread.
+    Panicked,
+}
+
+/// The parallel engine: workers speculate upstream paths in claim order
+/// against private pools/solver state; the committer absorbs and replays
+/// them in exact upstream-path order (see the module docs).
+fn compose_par(
+    first: &NfContract,
+    second: &NfContract,
+    solver: &Solver,
+    cache: &mut SolverCache,
+    threads: usize,
+) -> NfContract {
+    let n = first.paths.len();
+    let mut pool = TermPool::new();
+    let mut paths = Vec::new();
+    // (symbol name, width bits) → shared-pool term: the cross-worker
+    // symbol identity the committer resolves private pools through.
+    // Names are unique per identity (each side's exploration pool
+    // dedupes names; the nf1./nf2. prefixes keep the sides disjoint).
+    let mut symtab: HashMap<(String, u32), TermRef> = HashMap::new();
+    let slots: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(Slot::Pending)).collect();
+    let next = AtomicUsize::new(0);
+    let cv = Condvar::new();
+    // One mutex guards the "a slot changed" wakeup; per-slot mutexes
+    // hold the payloads so workers never serialise on the committer.
+    let wake = Mutex::new(());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(MAX_COMPOSE_WORKERS).min(n) {
+            scope.spawn(|| loop {
+                let ai = next.fetch_add(1, Ordering::Relaxed);
+                if ai >= n {
+                    return;
+                }
+                let spec =
+                    catch_unwind(AssertUnwindSafe(|| speculate_pa(first, second, ai, solver)));
+                *slots[ai].lock().unwrap() = match spec {
+                    Ok(s) => Slot::Done(Box::new(s)),
+                    Err(_) => Slot::Panicked,
+                };
+                let _g = wake.lock().unwrap();
+                cv.notify_all();
+            });
+        }
+        for (ai, slot) in slots.iter().enumerate() {
+            let spec = loop {
+                // Take the slot under its own lock and release it before
+                // any wait: holding it across the wait would block the
+                // worker's write forever.
+                let taken = {
+                    let mut g = slot.lock().unwrap();
+                    std::mem::replace(&mut *g, Slot::Pending)
+                };
+                match taken {
+                    Slot::Done(s) => break Some(*s),
+                    Slot::Panicked => break None,
+                    Slot::Pending => {
+                        let g = wake.lock().unwrap();
+                        // Re-check under the wake lock: the worker may
+                        // have filled the slot (and notified) between
+                        // the take above and acquiring the wake lock.
+                        let filled = !matches!(*slot.lock().unwrap(), Slot::Pending);
+                        if !filled {
+                            drop(cv.wait(g).unwrap());
+                        }
+                    }
+                }
+            };
+            let (lp, body) = spec.unwrap_or_else(|| speculate_pa(first, second, ai, solver));
+            // Absorb the worker's private pool: deterministic re-intern
+            // through the public constructors in arena order, symbols
+            // resolved by (name, width) through the shared table — the
+            // shared arena gains exactly the nodes the sequential fold
+            // would have interned at this upstream path, in the same
+            // order.
+            let tmap = pool.absorb_with(&lp, |p, name, w| {
+                let key = (name.to_string(), w.bits());
+                if let Some(&t) = symtab.get(&key) {
+                    t
+                } else {
+                    let t = p.fresh_sym(name, w);
+                    symtab.insert(key, t);
+                    t
+                }
+            });
+            let body = remap_body(body, &tmap);
+            // Replay the worker's solver schedule against the shared
+            // cache so memo/model state and every counter evolve
+            // exactly as sequentially — and hard-assert that the
+            // speculative verdicts agree (a divergence would mean a
+            // solver fast path stopped being classification-identical).
+            if let PaBody::Forwarding { ca, pairs } = &body {
+                let mut upstream = SolverCtx::new(solver);
+                for &c in ca {
+                    upstream.assert_term(&pool, c);
+                }
+                for pair in pairs {
+                    upstream.push();
+                    for &c in &pair.tail {
+                        upstream.assert_term(&pool, c);
+                    }
+                    let feasible = upstream.current_feasible(&pool, cache);
+                    upstream.pop();
+                    assert_eq!(
+                        feasible, pair.feasible,
+                        "speculative pair verdict diverged from the shared-cache \
+                         replay (solver fast path not classification-identical?)"
+                    );
+                }
+            }
+            push_paths(&mut paths, &pool, &first.paths[ai], second, body);
+        }
+    });
+    NfContract { pool, paths }
+}
+
+/// Execute one upstream path against fresh private state. Valid at any
+/// time, in any order: the body depends only on the two (immutable)
+/// operand contracts, never on sibling speculation. Feasibility verdicts
+/// computed here are classification-identical to the committer's
+/// shared-cache replay — `Unsat` comes only from the deterministic,
+/// ref-index-independent propagation/enumeration half of the solver.
+fn speculate_pa(
+    first: &NfContract,
+    second: &NfContract,
+    ai: usize,
+    solver: &Solver,
+) -> (TermPool, PaBody) {
+    let mut pool = TermPool::new();
+    let mut cache = SolverCache::new();
+    let mut mig_a = Migrator::new(&first.pool, "nf1");
+    let mut mig_b = Migrator::new(&second.pool, "nf2");
+    let body = compose_one(
+        &mut pool,
+        &mut mig_a,
+        &mut mig_b,
+        &first.paths[ai],
+        second,
+        solver,
+        &mut cache,
+    );
+    (pool, body)
+}
+
+/// What one [`Pipeline`] chain run did: the composed contract plus the
+/// work provenance the warm-chain CI gate asserts on.
+#[derive(Debug)]
+pub struct ChainReport {
+    /// The composed contract of the whole chain.
+    pub contract: NfContract,
+    /// Compose-side solver counters, accumulated across every fold step
+    /// that composed fresh this run. All-zero on a fully warm run.
+    pub solver: SolverStats,
+    /// Fold steps composed fresh (pairwise cross-product solves ran).
+    pub steps_composed: usize,
+    /// Stored composed records decoded. The fold resumes after the
+    /// *deepest* stored prefix, so this is at most 1 per run — a fully
+    /// warm chain decodes exactly the final record, a partially warm one
+    /// the longest memoized prefix.
+    pub steps_cached: usize,
+    /// Stage contracts explored fresh this run.
+    pub stages_explored: usize,
+    /// Stage contracts decoded from stored explorations.
+    pub stages_cached: usize,
+}
+
+impl ChainReport {
+    /// Whether the run was fully solver-free: every fold step decoded
+    /// from the store, no stage explored, no compose solver request.
+    pub fn fully_cached(&self) -> bool {
+        self.steps_composed == 0
+            && self.stages_explored == 0
+            && self.solver == SolverStats::default()
+    }
 }
 
 /// A chain of heterogeneous network functions, composed pairwise (§3.4).
@@ -263,9 +634,12 @@ pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfCo
 /// ```
 ///
 /// With a persistent contract store attached
-/// ([`Pipeline::with_store`], or ambiently via `BOLT_STORE_DIR`), stage
-/// explorations are get-or-explore: long chains re-use each NF's stored
-/// paths instead of re-exploring per composition.
+/// ([`Pipeline::with_store`], or ambiently via `BOLT_STORE_DIR`), both
+/// halves of the work are memoized: stage explorations are
+/// get-or-explore, and every pairwise fold step is a content-addressed
+/// composed record (keyed by [`crate::store::compose_key`] over the two
+/// operand fingerprints), so a warm chain run is fully solver-free —
+/// [`Pipeline::report`] returns the [`ChainReport`] that proves it.
 #[derive(Default)]
 pub struct Pipeline<'s> {
     stages: Vec<Box<dyn AbstractNf>>,
@@ -290,15 +664,15 @@ impl<'s> Pipeline<'s> {
     }
 
     /// Attach a persistent contract store consulted for every stage
-    /// exploration.
+    /// exploration and every composed fold step.
     pub fn with_store(mut self, store: &'s bolt_store::ContractStore) -> Self {
         self.store = Some(store);
         self
     }
 
-    /// Explore every stage on `n` worker threads (1 = sequential).
-    /// Overrides the ambient `BOLT_THREADS`; stage contracts are
-    /// bit-identical at any count.
+    /// Explore stages and compose path pairs on `n` worker threads
+    /// (1 = sequential). Overrides the ambient `BOLT_THREADS`; stage and
+    /// composed contracts are bit-identical at any count.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
         self
@@ -319,11 +693,28 @@ impl<'s> Pipeline<'s> {
         self.stages.iter().map(|s| s.name()).collect()
     }
 
+    /// The chain's composed-contract store key at a level: the left fold
+    /// of [`crate::store::compose_key`] over the stage keys. For a
+    /// single-stage chain this is the stage's own key (no composed
+    /// record is ever written for it). `None` for an empty chain.
+    pub fn chain_key(&self, level: StackLevel) -> Option<Fingerprint> {
+        let mut it = self.stages.iter();
+        let mut key = it.next()?.store_key(level);
+        for s in it {
+            key = compose_key(key, s.store_key(level), level);
+        }
+        Some(key)
+    }
+
+    fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(crate::nf::ambient_threads)
+    }
+
     /// Each stage's individual contract, upstream first (every stage is
     /// explored at `level`, through the attached or ambient store when
     /// one is configured).
     pub fn contracts(&self, level: StackLevel) -> Vec<NfContract> {
-        let threads = self.threads.unwrap_or_else(crate::nf::ambient_threads);
+        let threads = self.resolved_threads();
         let env;
         let store = match self.store {
             Some(s) => Some(s),
@@ -344,18 +735,134 @@ impl<'s> Pipeline<'s> {
     /// The composed contract of the whole chain: stage contracts are
     /// [`compose`]d pairwise left to right, discarding solver-infeasible
     /// path pairs (which is what masks downstream slow paths the upstream
-    /// NFs filter out). `None` for an empty chain.
+    /// NFs filter out). Store-aware and parallel — this is
+    /// [`Pipeline::report`] without the provenance counters. `None` for
+    /// an empty chain.
     pub fn contract(&self, level: StackLevel) -> Option<NfContract> {
-        Self::compose_all(self.contracts(level))
+        self.report(level).map(|r| r.contract)
     }
 
-    /// Compose pre-built stage contracts left to right.
+    /// Compose the chain at `level`, reporting what the run actually did.
+    ///
+    /// The fold walks stages left to right. For every step it first
+    /// consults the store (attached or ambient) under the step's
+    /// [`crate::store::compose_key`]; a hit decodes the composed record
+    /// — no stage exploration, no solver work. On a miss the two
+    /// operands are materialised (themselves store-backed), composed on
+    /// the configured worker-thread count, and the result is persisted
+    /// for the next run. Stage contracts are built lazily, so a fully
+    /// warm chain run touches nothing but the final composed record.
+    pub fn report(&self, level: StackLevel) -> Option<ChainReport> {
+        if self.stages.is_empty() {
+            return None;
+        }
+        let threads = self.resolved_threads();
+        let env;
+        let store = match self.store {
+            Some(s) => Some(s),
+            None => {
+                env = crate::store::env_store();
+                env.as_ref()
+            }
+        };
+        let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        let (mut stages_explored, mut stages_cached) = (0usize, 0usize);
+        let (mut steps_composed, mut steps_cached) = (0usize, 0usize);
+        let stage_contract = |i: usize, explored: &mut usize, cached: &mut usize| match store {
+            Some(st) => {
+                let (c, was_cached) = self.stages[i].explore_contract_via_store(level, st, threads);
+                if was_cached {
+                    *cached += 1;
+                } else {
+                    *explored += 1;
+                }
+                c
+            }
+            None => {
+                *explored += 1;
+                self.stages[i].explore_contract_threads(level, threads)
+            }
+        };
+        let keys: Vec<Fingerprint> = self.stages.iter().map(|s| s.store_key(level)).collect();
+        let names = self.names();
+        // `cks[i]` addresses the composed contract of stages `0..=i`
+        // (`cks[0]` is stage 0's own key; nothing composed is stored
+        // under it).
+        let mut cks: Vec<Fingerprint> = Vec::with_capacity(keys.len());
+        cks.push(keys[0]);
+        for i in 1..keys.len() {
+            cks.push(compose_key(cks[i - 1], keys[i], level));
+        }
+        // Resume after the deepest stored composed prefix: a fully warm
+        // run decodes exactly one record (the whole chain's) and a
+        // partially warm one re-uses the longest memoized prefix.
+        // `acc == None` means "the accumulator is still stage 0,
+        // unmaterialised" — a warm fold never materialises it at all.
+        let mut acc: Option<NfContract> = None;
+        let mut start = 1;
+        if let Some(st) = store {
+            for i in (1..self.stages.len()).rev() {
+                if let Some(c) = st.get_composed(cks[i]) {
+                    steps_cached += 1;
+                    acc = Some(c);
+                    start = i + 1;
+                    break;
+                }
+            }
+        }
+        for i in start..self.stages.len() {
+            let left = match acc.take() {
+                Some(c) => c,
+                None => stage_contract(0, &mut stages_explored, &mut stages_cached),
+            };
+            let right = stage_contract(i, &mut stages_explored, &mut stages_cached);
+            let composed = compose_with(&left, &right, &solver, &mut cache, threads);
+            if let Some(st) = store {
+                // A failed write costs only the next run's warm start.
+                let _ = st.put_composed(cks[i], &names[..=i].join("+"), level, &composed);
+            }
+            steps_composed += 1;
+            acc = Some(composed);
+        }
+        let contract = match acc {
+            Some(c) => c,
+            // Single-stage chain: the contract is the stage contract.
+            None => stage_contract(0, &mut stages_explored, &mut stages_cached),
+        };
+        Some(ChainReport {
+            contract,
+            solver: cache.stats,
+            steps_composed,
+            steps_cached,
+            stages_explored,
+            stages_cached,
+        })
+    }
+
+    /// Compose pre-built stage contracts left to right, sharing one
+    /// feasibility cache across the fold, on the ambient `BOLT_THREADS`
+    /// worker count. No store involvement (the contracts are already in
+    /// hand); use [`Pipeline::report`] for the memoized path.
     pub fn compose_all(contracts: Vec<NfContract>) -> Option<NfContract> {
         let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        Self::compose_all_with(contracts, &solver, &mut cache, crate::nf::ambient_threads())
+    }
+
+    /// [`Pipeline::compose_all`] with an explicit solver, shared cache
+    /// (whose [`SolverCache::stats`] accumulate the compose-side
+    /// counters across every fold step), and worker-thread count.
+    pub fn compose_all_with(
+        contracts: Vec<NfContract>,
+        solver: &Solver,
+        cache: &mut SolverCache,
+        threads: usize,
+    ) -> Option<NfContract> {
         let mut it = contracts.into_iter();
         let mut acc = it.next()?;
         for next in it {
-            acc = compose(&acc, &next, &solver);
+            acc = compose_with(&acc, &next, solver, cache, threads);
         }
         Some(acc)
     }
@@ -406,4 +913,126 @@ pub fn naive_add(
         .max()
         .unwrap_or(0);
     a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_contract;
+    use bolt_expr::Width;
+    use bolt_see::{Explorer, NfCtx};
+
+    /// A forwarding NF body that writes one field and reads another.
+    fn upstream_nf(ctx: &mut bolt_see::SymbolicCtx<'_>) {
+        let pkt = ctx.packet(64);
+        let et = ctx.load(pkt, 12, 2);
+        if ctx.branch_eq_imm(et, 0x0800, Width::W16) {
+            ctx.tag("up-valid");
+            let marker = ctx.lit(0x7, Width::W8);
+            ctx.store(pkt, 30, marker, 1);
+            ctx.verdict(NfVerdict::Forward(0));
+        } else {
+            ctx.tag("up-drop");
+            ctx.verdict(NfVerdict::Drop);
+        }
+    }
+
+    /// A downstream NF body that branches on the upstream-written field.
+    fn downstream_nf(ctx: &mut bolt_see::SymbolicCtx<'_>) {
+        let pkt = ctx.packet(64);
+        let m = ctx.load(pkt, 30, 1);
+        if ctx.branch_eq_imm(m, 0x7, Width::W8) {
+            ctx.tag("down-fast");
+            ctx.verdict(NfVerdict::Forward(1));
+        } else {
+            ctx.tag("down-slow");
+            let x = ctx.load(pkt, 31, 1);
+            let z = ctx.lit(0, Width::W8);
+            let _ = ctx.add(x, z);
+            ctx.verdict(NfVerdict::Forward(1));
+        }
+    }
+
+    fn toy_pair() -> (NfContract, NfContract) {
+        let reg = nf_lib::registry::DsRegistry::new();
+        let a = crate::contract::generate(&reg, Explorer::new().explore(upstream_nf));
+        let b = crate::contract::generate(&reg, Explorer::new().explore(downstream_nf));
+        (a, b)
+    }
+
+    #[test]
+    fn infeasible_pairs_are_masked() {
+        let (a, b) = toy_pair();
+        let chain = compose(&a, &b, &Solver::default());
+        // up-drop alone, up-valid×down-fast; up-valid×down-slow is
+        // infeasible (the upstream always writes 0x7).
+        assert_eq!(chain.paths.len(), 2);
+        assert!(chain.paths.iter().any(|p| p.has_tag("up-drop")));
+        assert!(chain
+            .paths
+            .iter()
+            .any(|p| p.has_tag("up-valid") && p.has_tag("down-fast")));
+        assert!(!chain.paths.iter().any(|p| p.has_tag("down-slow")));
+    }
+
+    #[test]
+    fn parallel_composition_is_bit_identical() {
+        let (a, b) = toy_pair();
+        let solver = Solver::default();
+        let mut seq_cache = SolverCache::new();
+        let seq = compose_with(&a, &b, &solver, &mut seq_cache, 1);
+        let seq_bytes = encode_contract(&seq);
+        for threads in [2, 3, 8] {
+            let mut cache = SolverCache::new();
+            let par = compose_with(&a, &b, &solver, &mut cache, threads);
+            assert_eq!(
+                encode_contract(&par),
+                seq_bytes,
+                "composition at {threads} threads diverged from sequential"
+            );
+            assert_eq!(
+                cache.stats, seq_cache.stats,
+                "solver counters diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cache_reuses_verdicts_across_fold_steps() {
+        let (a, b) = toy_pair();
+        let solver = Solver::default();
+        // Composing the same pair twice through one cache must answer
+        // the second step's identical probes from the memo.
+        let mut cache = SolverCache::new();
+        let _ = compose_with(&a, &b, &solver, &mut cache, 1);
+        let after_first = cache.stats;
+        let _ = compose_with(&a, &b, &solver, &mut cache, 1);
+        assert!(
+            cache.stats.checks_requested > after_first.checks_requested,
+            "second step must issue requests"
+        );
+        assert_eq!(
+            cache.stats.solver_queries, after_first.solver_queries,
+            "identical second fold step must run zero fresh solver queries"
+        );
+    }
+
+    #[test]
+    fn compose_all_threads_a_single_cache() {
+        let (a, b) = toy_pair();
+        let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        let c = Pipeline::compose_all_with(vec![a, b], &solver, &mut cache, 1).unwrap();
+        assert_eq!(c.paths.len(), 2);
+        assert!(cache.stats.checks_requested > 0, "fold reports its work");
+    }
+
+    #[test]
+    fn empty_and_single_compose_all() {
+        assert!(Pipeline::compose_all(Vec::new()).is_none());
+        let (a, _) = toy_pair();
+        let n = a.paths.len();
+        let only = Pipeline::compose_all(vec![a]).unwrap();
+        assert_eq!(only.paths.len(), n);
+    }
 }

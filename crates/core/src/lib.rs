@@ -41,11 +41,13 @@ pub mod contract;
 pub mod nf;
 pub mod store;
 
-pub use chain::{compose, naive_add, Pipeline};
+pub use chain::{compose, compose_with, naive_add, ChainReport, Pipeline};
 pub use classes::{ClassSpec, InputClass};
 pub use codec::{decode_contract, encode_contract};
 pub use contract::{generate, NfContract, PathContract, QueryResult};
 pub use nf::{
     ambient_threads, AbstractNf, Bolt, Contract, Exploration, NetworkFunction, THREADS_ENV,
 };
-pub use store::{env_store, store_key, ContractStore, Fingerprint, Fingerprinter, StoreExt};
+pub use store::{
+    compose_key, env_store, store_key, ContractStore, Fingerprint, Fingerprinter, StoreExt,
+};

@@ -381,6 +381,24 @@ pub trait AbstractNf {
         threads: usize,
     ) -> NfContract;
 
+    /// [`AbstractNf::explore_contract_cached_threads`], additionally
+    /// reporting whether the stage was served from the store (`true`) or
+    /// explored fresh (`false`) — the provenance
+    /// [`crate::chain::ChainReport`] surfaces per chain run.
+    fn explore_contract_via_store(
+        &self,
+        level: StackLevel,
+        store: &ContractStore,
+        threads: usize,
+    ) -> (NfContract, bool);
+
+    /// The stage's contract-store key at a stack level (NF name, config,
+    /// level, store-format version — see [`crate::store::store_key`]).
+    /// Chain composition derives composed-record keys from these, so a
+    /// changed stage config invalidates every composed record downstream
+    /// of the stage.
+    fn store_key(&self, level: StackLevel) -> crate::store::Fingerprint;
+
     /// [`AbstractNf::explore_contract_threads`] at the ambient
     /// `BOLT_THREADS` count.
     fn explore_contract(&self, level: StackLevel) -> NfContract {
@@ -413,5 +431,20 @@ impl<N: NetworkFunction + Sync> AbstractNf for N {
             .get_or_explore_threads(self, level, threads)
             .contract()
             .into_inner()
+    }
+
+    fn explore_contract_via_store(
+        &self,
+        level: StackLevel,
+        store: &ContractStore,
+        threads: usize,
+    ) -> (NfContract, bool) {
+        let ex = store.get_or_explore_threads(self, level, threads);
+        let cached = ex.cached;
+        (ex.contract().into_inner(), cached)
+    }
+
+    fn store_key(&self, level: StackLevel) -> crate::store::Fingerprint {
+        crate::store::store_key(self, level)
     }
 }

@@ -65,6 +65,25 @@ pub fn store_key<N: NetworkFunction>(nf: &N, level: StackLevel) -> Fingerprint {
     fp.finish()
 }
 
+/// The store key of one composed-pair record: the two operand
+/// fingerprints — a stage's [`store_key`], or, for chains longer than
+/// two, the composed key of the whole upstream prefix — plus the stack
+/// level, under the store format version (seeded into the hasher) and
+/// the crate version. Composition folds left, so the key of an n-stage
+/// chain is `compose_key(compose_key(..), key_n, level)`; changing any
+/// stage's configuration changes its stage key and therefore every
+/// composed key downstream of it, so stale composed records simply miss
+/// and are re-composed.
+pub fn compose_key(first: Fingerprint, second: Fingerprint, level: StackLevel) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    fp.str("bolt.compose");
+    fp.str(env!("CARGO_PKG_VERSION"));
+    fp.u128(first.0);
+    fp.u128(second.0);
+    fp.u8(level_tag(level));
+    fp.finish()
+}
+
 /// The ambient store named by `BOLT_STORE_DIR`, if the variable is set
 /// and the directory is usable.
 pub fn env_store() -> Option<ContractStore> {
@@ -110,6 +129,22 @@ pub trait StoreExt {
         &self,
         key: Fingerprint,
         nf_name: &str,
+        level: StackLevel,
+        contract: &NfContract,
+    ) -> io::Result<()>;
+
+    /// Fetch and decode a composed-chain contract record (keyed by
+    /// [`compose_key`]). A hit is fully solver-free: the record decodes
+    /// straight into a queryable [`NfContract`].
+    fn get_composed(&self, key: Fingerprint) -> Option<NfContract>;
+
+    /// Encode and persist a composed-chain contract record. `chain_name`
+    /// is the human-readable stage chain (e.g. `firewall+static_router`),
+    /// shown by `list`; the addressing is entirely by `key`.
+    fn put_composed(
+        &self,
+        key: Fingerprint,
+        chain_name: &str,
         level: StackLevel,
         contract: &NfContract,
     ) -> io::Result<()>;
@@ -180,6 +215,29 @@ impl StoreExt for ContractStore {
             &payload,
         )
     }
+
+    fn get_composed(&self, key: Fingerprint) -> Option<NfContract> {
+        let payload = self.get(key, RecordKind::Composed)?;
+        decode_contract(&payload).ok()
+    }
+
+    fn put_composed(
+        &self,
+        key: Fingerprint,
+        chain_name: &str,
+        level: StackLevel,
+        contract: &NfContract,
+    ) -> io::Result<()> {
+        let payload = encode_contract(contract);
+        self.put(
+            key,
+            RecordKind::Composed,
+            chain_name,
+            level_tag(level),
+            contract.paths.len() as u64,
+            &payload,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +250,19 @@ mod tests {
             assert_eq!(level_from_tag(level_tag(level)), Some(level));
         }
         assert_eq!(level_from_tag(9), None);
+    }
+
+    #[test]
+    fn compose_keys_are_order_level_and_operand_sensitive() {
+        let (a, b) = (Fingerprint(17), Fingerprint(42));
+        let k = compose_key(a, b, StackLevel::FullStack);
+        assert_eq!(k, compose_key(a, b, StackLevel::FullStack), "stable");
+        assert_ne!(k, compose_key(b, a, StackLevel::FullStack), "order");
+        assert_ne!(k, compose_key(a, b, StackLevel::NfOnly), "level");
+        assert_ne!(
+            k,
+            compose_key(Fingerprint(18), b, StackLevel::FullStack),
+            "a stale stage fingerprint must miss"
+        );
     }
 }

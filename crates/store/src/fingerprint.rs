@@ -111,6 +111,13 @@ impl Fingerprinter {
         self
     }
 
+    /// Feed a u128 (little-endian). Composed-chain keys feed their two
+    /// operand fingerprints through here.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.write(&v.to_le_bytes());
+        self
+    }
+
     /// Feed a usize (hashed as u64, so 32- and 64-bit hosts agree).
     pub fn usize(&mut self, v: usize) -> &mut Self {
         self.u64(v as u64)

@@ -57,12 +57,20 @@ fn next_stamp() -> u64 {
 }
 
 /// What a record's payload encodes.
+///
+/// `Composed` was added within store-format version 2: it introduces a
+/// new tag without changing the payload layout of the existing kinds, so
+/// pre-existing stores stay readable and old binaries simply reject the
+/// unknown tag (a miss, swept first under disk pressure).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RecordKind {
     /// An encoded `ExplorationResult` (pool + feasible paths + stats).
     Exploration,
     /// An encoded `NfContract` (pool + per-path cost polynomials).
     Contract,
+    /// An encoded composed-chain `NfContract`, keyed by the fingerprints
+    /// of the two contracts it was composed from.
+    Composed,
 }
 
 impl RecordKind {
@@ -70,6 +78,7 @@ impl RecordKind {
         match self {
             RecordKind::Exploration => 0,
             RecordKind::Contract => 1,
+            RecordKind::Composed => 2,
         }
     }
 
@@ -77,6 +86,7 @@ impl RecordKind {
         match t {
             0 => Ok(RecordKind::Exploration),
             1 => Ok(RecordKind::Contract),
+            2 => Ok(RecordKind::Composed),
             _ => Err(DecodeError::Malformed("record kind out of range")),
         }
     }
@@ -85,6 +95,7 @@ impl RecordKind {
         match self {
             RecordKind::Exploration => "exp",
             RecordKind::Contract => "ctr",
+            RecordKind::Composed => "cmp",
         }
     }
 }
@@ -424,15 +435,27 @@ mod tests {
             Some(payload.as_slice())
         );
         assert_eq!(store.hits(), 1);
-        // Same key, different kind: distinct record slot.
+        // Same key, different kind: distinct record slots.
         assert!(store.get(fp(7), RecordKind::Contract).is_none());
-        assert_eq!(store.misses(), 1);
+        assert!(store.get(fp(7), RecordKind::Composed).is_none());
+        assert_eq!(store.misses(), 2);
+        // A composed record under the same fingerprint lives beside it.
+        store
+            .put(fp(7), RecordKind::Composed, "fw+rt", 1, 3, b"composed")
+            .unwrap();
+        assert_eq!(
+            store.get(fp(7), RecordKind::Composed).as_deref(),
+            Some(b"composed".as_slice())
+        );
         let entries = store.list().unwrap();
-        assert_eq!(entries.len(), 1);
+        assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].nf_name, "bridge");
         assert_eq!(entries[0].n_paths, 9);
         assert_eq!(entries[0].level, 1);
         assert_eq!(entries[0].payload_len, payload.len() as u64);
+        assert_eq!(entries[1].nf_name, "fw+rt");
+        assert_eq!(entries[1].kind, RecordKind::Composed);
+        assert!(store.evict(fp(7), RecordKind::Composed).unwrap());
         assert!(store.evict(fp(7), RecordKind::Exploration).unwrap());
         assert!(!store.evict(fp(7), RecordKind::Exploration).unwrap());
         assert!(store.get(fp(7), RecordKind::Exploration).is_none());

@@ -9,6 +9,7 @@
 //! cargo run --release --example bolt_cli -- explore --all
 //! cargo run --release --example bolt_cli -- list
 //! cargo run --release --example bolt_cli -- query --nf bridge --pcv e=16 --pcv t=4
+//! cargo run --release --example bolt_cli -- chain --nfs firewall,static_router --tag no-options
 //! cargo run --release --example bolt_cli -- diff --a firewall --b static_router
 //! cargo run --release --example bolt_cli -- evict --nf bridge --level nf-only
 //! ```
@@ -20,7 +21,7 @@ use std::collections::BTreeSet;
 use std::process::exit;
 
 use bolt::core::store::{level_tag, store_key, RecordKind, StoreExt};
-use bolt::core::{ClassSpec, InputClass, NfContract};
+use bolt::core::{ClassSpec, InputClass, NfContract, Pipeline};
 use bolt::expr::PcvAssignment;
 use bolt::nfs::nat::{AllocKind, NatConfig};
 use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
@@ -96,6 +97,7 @@ fn usage() -> ! {
          \x20 explore  --nf NAME | --all   [--level nf-only|full-stack|both] [--store DIR]\n\
          \x20 list     [--store DIR]\n\
          \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR]\n\
+         \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N] [--store DIR]\n\
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR]\n\
          \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
          \n\
@@ -140,6 +142,7 @@ fn level_name(tag: u8) -> &'static str {
 #[derive(Default)]
 struct Opts {
     nf: Option<String>,
+    nfs: Option<String>,
     all: bool,
     level: Option<String>,
     metric: Option<String>,
@@ -149,6 +152,7 @@ struct Opts {
     a: Option<String>,
     b: Option<String>,
     budget: Option<u64>,
+    threads: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -162,7 +166,15 @@ fn parse_opts(args: &[String]) -> Opts {
         };
         match arg.as_str() {
             "--nf" => o.nf = Some(val("--nf")),
+            "--nfs" => o.nfs = Some(val("--nfs")),
             "--all" => o.all = true,
+            "--threads" => {
+                let v = val("--threads");
+                o.threads = Some(
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| die(&format!("bad --threads {v:?} (want a count)"))),
+                );
+            }
             "--level" => o.level = Some(val("--level")),
             "--metric" => o.metric = Some(val("--metric")),
             "--store" => o.store = Some(val("--store")),
@@ -270,6 +282,7 @@ fn cmd_list(o: &Opts) {
         let kind = match e.kind {
             RecordKind::Exploration => "exploration",
             RecordKind::Contract => "contract",
+            RecordKind::Composed => "composed",
         };
         println!(
             "{:>14} {:>10} {kind:>11} {:>6} {:>9}  {}",
@@ -401,6 +414,84 @@ fn cmd_diff(o: &Opts) {
     }
 }
 
+/// Compose a named chain through the store: every stage exploration and
+/// every pairwise fold step is a content-addressed record, so repeating
+/// the command is fully solver-free. Prints the composed contract's
+/// provenance and answers one class query against it.
+fn cmd_chain(o: &Opts) {
+    let store = open_store(o);
+    let spec = o
+        .nfs
+        .as_deref()
+        .unwrap_or_else(|| die("chain needs --nfs A,B[,C...]"));
+    if !o.pcvs.is_empty() {
+        // Composed contracts drop the per-stage registries, so PCV names
+        // cannot be resolved here; failing beats silently ignoring them.
+        die(
+            "chain queries do not support --pcv (composed contracts have no PCV registry); \
+             worst cases are reported at all-zero PCVs",
+        );
+    }
+    let mut chain = Pipeline::new().with_store(&store);
+    for name in spec.split(',') {
+        with_nf!(name.trim(), nf => { chain = chain.push(nf); });
+    }
+    if let Some(t) = o.threads {
+        chain = chain.threads(t);
+    }
+    let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
+    for &level in &levels_of(o) {
+        let rep = chain
+            .report(level)
+            .unwrap_or_else(|| die("chain needs at least one NF"));
+        let key = chain.chain_key(level).expect("non-empty chain");
+        println!(
+            "chain {} @ {} — {} paths  key {key}",
+            chain.names().join(" -> "),
+            level_name(level_tag(level)),
+            rep.contract.paths.len()
+        );
+        println!(
+            "  stages     : {} explored, {} from store",
+            rep.stages_explored, rep.stages_cached
+        );
+        println!(
+            "  fold steps : {} composed, {} from store",
+            rep.steps_composed, rep.steps_cached
+        );
+        println!(
+            "  compose    : {} solver requests, {} full queries{}",
+            rep.solver.checks_requested,
+            rep.solver.solver_queries,
+            if rep.fully_cached() {
+                " (fully warm: solver-free)"
+            } else {
+                ""
+            }
+        );
+        let class = match &o.tag {
+            Some(t) => InputClass::new(
+                format!("tag:{t}"),
+                ClassSpec::Tag(bolt::store::intern_tag(t)),
+            ),
+            None => InputClass::unconstrained(),
+        };
+        let mut contract = rep.contract;
+        let solver = bolt::solver::Solver::default();
+        let env = PcvAssignment::new();
+        match contract.query(&solver, &class, metric, &env) {
+            None => println!("  no composed path is compatible with {}", class.name),
+            Some(q) => {
+                let path = &contract.paths[q.path_index];
+                println!(
+                    "  class {} / {metric}: worst path #{} tags {:?} -> {} {metric}",
+                    class.name, q.path_index, path.tags, q.value
+                );
+            }
+        }
+    }
+}
+
 fn cmd_evict(o: &Opts) {
     let store = open_store(o);
     if let Some(budget) = o.budget {
@@ -452,6 +543,7 @@ fn main() {
         "explore" => cmd_explore(&o),
         "list" => cmd_list(&o),
         "query" => cmd_query(&o),
+        "chain" => cmd_chain(&o),
         "diff" => cmd_diff(&o),
         "evict" => cmd_evict(&o),
         _ => usage(),

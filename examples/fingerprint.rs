@@ -1,8 +1,15 @@
 //! Dump a deterministic fingerprint of every NF's exploration output:
 //! path count, per-path decisions, tags, verdicts, and (IC, MA) metrics.
 //! Used to verify that explorer/solver changes keep output bit-identical.
+//!
+//! With `chain` as the first argument, it instead fingerprints composed
+//! chain contracts (paths, tags, verdicts, metrics, and the compose-side
+//! solver counters) at both stack levels — the CI `chain-determinism`
+//! job diffs this output at `BOLT_THREADS=1/2/8`, so any scheduling or
+//! merge-order leak in the parallel composer fails the gate.
 
 use bolt::core::nf::NetworkFunction;
+use bolt::core::Pipeline;
 use bolt::expr::PcvAssignment;
 use bolt::nfs::{nat, Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
 use bolt::see::StackLevel;
@@ -25,7 +32,67 @@ fn dump<N: NetworkFunction + Sync>(name: &str, nf: N) {
     }
 }
 
+fn dump_chain(label: &str, chain: &Pipeline<'_>) {
+    for level in [StackLevel::NfOnly, StackLevel::FullStack] {
+        let rep = chain.report(level).expect("non-empty chain");
+        let key = chain.chain_key(level).expect("non-empty chain");
+        println!(
+            "== chain {label} {level:?}: {} paths  key {key}",
+            rep.contract.paths.len()
+        );
+        let env = PcvAssignment::new();
+        for p in &rep.contract.paths {
+            let ic = p.expr(Metric::Instructions).eval(&env);
+            let ma = p.expr(Metric::MemAccesses).eval(&env);
+            let cy = p.expr(Metric::Cycles).eval(&env);
+            println!(
+                "  {} tags={:?} verdict={:?} ic={ic} ma={ma} cy={cy}",
+                p.index, p.tags, p.verdict
+            );
+        }
+        // Compose-side solver counters are part of the fingerprint: the
+        // parallel committer replays the sequential schedule, so these
+        // must be byte-identical at any thread count too.
+        let s = rep.solver;
+        println!(
+            "  compose: steps={}+{} requests={} queries={} witness={} memo={} unsat-prop={}",
+            rep.steps_composed,
+            rep.steps_cached,
+            s.checks_requested,
+            s.solver_queries,
+            s.witness_reuse_hits,
+            s.memo_hits,
+            s.unsat_by_propagation
+        );
+    }
+}
+
+fn dump_chains() {
+    // The determinism oracle must be environment-insensitive: an
+    // ambient store would flip the second run from "composed" to
+    // "decoded" (different counters, and no parallel composer exercised
+    // at all), failing — or worse, hollowing out — the CI gate.
+    std::env::remove_var("BOLT_STORE_DIR");
+    let fw_rt = Pipeline::new()
+        .push(Firewall::default())
+        .push(StaticRouter::default());
+    dump_chain("firewall->static_router", &fw_rt);
+    let rt_fw = Pipeline::new()
+        .push(StaticRouter::default())
+        .push(Firewall::default());
+    dump_chain("static_router->firewall", &rt_fw);
+    let triple = Pipeline::new()
+        .push(Firewall::default())
+        .push(Firewall::default())
+        .push(StaticRouter::default());
+    dump_chain("firewall->firewall->static_router", &triple);
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("chain") {
+        dump_chains();
+        return;
+    }
     dump("bridge", Bridge::default());
     dump("example_router", ExampleRouter::default());
     dump("firewall", Firewall::default());
