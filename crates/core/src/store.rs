@@ -19,7 +19,7 @@ use dpdk_sim::StackLevel;
 use nf_lib::registry::DsRegistry;
 
 pub use bolt_store::{
-    ContractStore, Fingerprint, Fingerprinter, RecordKind, StoreEntry, SweepReport,
+    ContractStore, Fingerprint, Fingerprinter, RecordHeader, RecordKind, StoreEntry, SweepReport,
 };
 
 use crate::codec::{decode_contract, encode_contract};
@@ -148,6 +148,13 @@ pub trait StoreExt {
         level: StackLevel,
         contract: &NfContract,
     ) -> io::Result<()>;
+
+    /// Header-only metadata of a record: the cheap pass (no payload
+    /// read, no pool rehydration) for existence checks, `list`-style
+    /// enumeration, and serving-cache admission accounting. Use
+    /// [`StoreExt::get_or_explore`]/[`StoreExt::get_contract`] only when
+    /// the payload's contents are actually needed.
+    fn peek(&self, key: Fingerprint, kind: RecordKind) -> Option<RecordHeader>;
 }
 
 impl StoreExt for ContractStore {
@@ -219,6 +226,10 @@ impl StoreExt for ContractStore {
     fn get_composed(&self, key: Fingerprint) -> Option<NfContract> {
         let payload = self.get(key, RecordKind::Composed)?;
         decode_contract(&payload).ok()
+    }
+
+    fn peek(&self, key: Fingerprint, kind: RecordKind) -> Option<RecordHeader> {
+        self.header(key, kind)
     }
 
     fn put_composed(

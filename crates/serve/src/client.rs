@@ -1,0 +1,198 @@
+//! A blocking client for the serve protocol.
+//!
+//! One [`Client`] is one connection; calls are strictly
+//! request/response, so a client is cheap to use from many threads by
+//! giving each thread its own connection (the server runs one thread
+//! per connection anyway).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply,
+};
+
+/// How long a client waits for a reply before giving up. Warm answers
+/// are microseconds; a cold one can run a fresh exploration, so the
+/// bound is generous.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Where a server lives: `tcp:HOST:PORT`, or a Unix socket path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint spec: a `tcp:` prefix selects TCP, anything
+    /// else is a Unix socket path.
+    pub fn parse(s: &str) -> Endpoint {
+        match s.strip_prefix("tcp:") {
+            Some(addr) => Endpoint::Tcp(addr.to_string()),
+            None => Endpoint::Unix(PathBuf::from(s)),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's bytes did not decode to the expected response.
+    Protocol(String),
+    /// The server answered with an error frame; the message is the
+    /// server's (e.g. an unknown-NF or unknown-PCV diagnostic).
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServeError::Remote(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+trait Transport: Read + Write + Send {}
+impl Transport for TcpStream {}
+#[cfg(unix)]
+impl Transport for UnixStream {}
+
+/// One connection to a serve endpoint.
+pub struct Client {
+    stream: Box<dyn Transport>,
+}
+
+impl Client {
+    /// Connect to an endpoint.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ServeError> {
+        let stream: Box<dyn Transport> = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                s.set_read_timeout(Some(REPLY_TIMEOUT))?;
+                Box::new(s)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(Some(REPLY_TIMEOUT))?;
+                Box::new(s)
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                return Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are unavailable on this platform; use tcp:HOST:PORT",
+                )))
+            }
+        };
+        Ok(Client { stream })
+    }
+
+    /// One request/response round trip. Error frames become
+    /// [`ServeError::Remote`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Protocol("server closed before replying".into()))?;
+        let resp = Response::decode(&payload)
+            .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?;
+        if let Response::Error { message } = resp {
+            return Err(ServeError::Remote(message));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness check; returns the server's version string.
+    pub fn ping(&mut self) -> Result<String, ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(mismatch("pong", &other)),
+        }
+    }
+
+    /// Run a contract query.
+    pub fn query(&mut self, q: QueryRequest) -> Result<QueryReply, ServeError> {
+        match self.call(&Request::Query(q))? {
+            Response::Query(r) => Ok(r),
+            other => Err(mismatch("query reply", &other)),
+        }
+    }
+
+    /// Diff two stored contracts; returns the rendered text.
+    pub fn diff(&mut self, d: DiffRequest) -> Result<String, ServeError> {
+        match self.call(&Request::Diff(d))? {
+            Response::Diff { text } => Ok(text),
+            other => Err(mismatch("diff reply", &other)),
+        }
+    }
+
+    /// List the server's store; returns (record count, rendered table).
+    pub fn list(&mut self) -> Result<(u64, String), ServeError> {
+        match self.call(&Request::List)? {
+            Response::List { entries, text } => Ok((entries, text)),
+            other => Err(mismatch("list reply", &other)),
+        }
+    }
+
+    /// Record/cache provenance of one (NF, level); returns rendered
+    /// text.
+    pub fn provenance(&mut self, nf: &str, level: u8) -> Result<String, ServeError> {
+        let req = Request::Provenance {
+            nf: nf.to_string(),
+            level,
+        };
+        match self.call(&req)? {
+            Response::Provenance { text } => Ok(text),
+            other => Err(mismatch("provenance reply", &other)),
+        }
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(mismatch("stats reply", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain, flush, exit).
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(mismatch("shutdown ack", &other)),
+        }
+    }
+}
+
+fn mismatch(wanted: &str, got: &Response) -> ServeError {
+    ServeError::Protocol(format!("expected a {wanted}, got {got:?}"))
+}

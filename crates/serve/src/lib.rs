@@ -1,0 +1,42 @@
+//! `bolt serve` — contracts as a long-lived query service.
+//!
+//! Compile-once/query-forever (the store crates) still paid a per-query
+//! process cost: every `bolt_cli query` re-opened the store, re-decoded
+//! the record, and re-rehydrated the term pool. This crate keeps all of
+//! that hot: a server opens the [`bolt_store::ContractStore`] once,
+//! caches decoded contracts in memory under an LRU byte budget, and
+//! answers query/diff/list/provenance requests from many concurrent
+//! clients over a length-prefixed framed protocol (Unix socket and/or
+//! TCP).
+//!
+//! The layering, bottom-up:
+//!
+//! * [`protocol`] — frames, opcodes, request/response bodies (no I/O
+//!   beyond `Read`/`Write`).
+//! * [`cache`] — the hot-contract LRU with per-contract query memos and
+//!   batched last-used touches back to the store (so `sweep --budget`
+//!   and the server agree on MRU order).
+//! * [`service`] — [`service::ServeCore`], the engine mapping requests
+//!   to answers; also used in-process by `bolt_cli` so local and remote
+//!   output is rendered by one code path.
+//! * [`server`] — accept loops, connection threads, graceful drain.
+//! * [`client`] — the blocking client (`bolt_cli --remote`).
+//!
+//! A warm repeat of the same query is answered from the memo: zero
+//! explorations, zero solver requests, zero record decodes — the
+//! property the protocol tests assert via the `stats` counters.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheConfig, ContractCache};
+pub use client::{Client, Endpoint, ServeError};
+pub use protocol::{
+    DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig};
+pub use service::{ServeCore, NF_NAMES};

@@ -1,0 +1,667 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame            := len:u32le payload          (len = payload bytes, ≤ MAX_FRAME)
+//! request payload  := ver:u8 opcode:u8 body
+//! response payload := status:u8 opcode:u8 body   (status 0 = ok)
+//!                   | status:u8 message:str      (status 1 = error)
+//! ```
+//!
+//! Bodies reuse the store's checked wire substrate
+//! ([`ByteWriter`]/[`ByteReader`]: little-endian integers, LEB128
+//! varints, length-prefixed strings), so a truncated or hostile frame
+//! decodes to a [`DecodeError`], never a panic. The version byte leads
+//! every request so a server can reject a future client with a clean
+//! error frame instead of a mis-parse; the opcode echo leads every ok
+//! response so a client can detect a desynchronised stream.
+//!
+//! Frames larger than [`MAX_FRAME`] are a protocol violation: the
+//! receiver cannot resynchronise past an untrusted length prefix, so the
+//! connection is closed after an error frame — the *server* stays up
+//! (see `server`), only the offending connection dies.
+
+use std::io::{self, Read, Write};
+
+use bolt_store::{ByteReader, ByteWriter, DecodeError};
+
+/// Protocol version spoken by this build. Bumped on any frame-layout or
+/// body change; servers reject other versions with an error frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on one frame's payload (16 MiB). Rendered replies are
+/// kilobytes; anything near this bound is garbage or an attack, and a
+/// length prefix beyond it poisons stream sync, so the connection is
+/// dropped rather than resynchronised.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Request/response opcodes (the second byte of every payload).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness + version handshake.
+    Ping = 1,
+    /// A contract performance query (class, metric, PCV binding).
+    Query = 2,
+    /// Compare two stored contracts.
+    Diff = 3,
+    /// Enumerate the store (header pass only — no payload decodes).
+    List = 4,
+    /// Where a record came from: key, on-disk state, cache state.
+    Provenance = 5,
+    /// Server counters (cache hits, decodes, explorations, memo traffic).
+    Stats = 6,
+    /// Graceful shutdown: stop accepting, drain in-flight, exit.
+    Shutdown = 7,
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        Ok(match v {
+            1 => Opcode::Ping,
+            2 => Opcode::Query,
+            3 => Opcode::Diff,
+            4 => Opcode::List,
+            5 => Opcode::Provenance,
+            6 => Opcode::Stats,
+            7 => Opcode::Shutdown,
+            _ => return Err(DecodeError::Malformed("unknown opcode")),
+        })
+    }
+}
+
+/// One contract query: which NF at which stack level, the input class
+/// (an optional path tag), the metric, and the PCV binding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryRequest {
+    /// NF name (the server's dispatch vocabulary, e.g. `bridge`).
+    pub nf: String,
+    /// Stack-level tag (`bolt_core::store::level_tag`).
+    pub level: u8,
+    /// Metric index (`bolt_trace::Metric::index`).
+    pub metric: u8,
+    /// Restrict the class to paths carrying this tag (`None` = any
+    /// packet).
+    pub tag: Option<String>,
+    /// PCV bindings by name; unbound PCVs evaluate as 0.
+    pub pcvs: Vec<(String, u64)>,
+}
+
+/// Compare two stored contracts. Sides travel as the raw `NF[:LEVEL]`
+/// spec the user typed (parsed server-side), because the rendered diff
+/// echoes them verbatim — keeping remote output byte-identical to a
+/// local `bolt_cli diff`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiffRequest {
+    /// Left side, `NF[:LEVEL]` (level defaults to full-stack).
+    pub a: String,
+    /// Right side, `NF[:LEVEL]`.
+    pub b: String,
+    /// Metric index for the worst-case comparison.
+    pub metric: u8,
+}
+
+/// A decoded request frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Liveness + version handshake.
+    Ping,
+    /// A contract performance query.
+    Query(QueryRequest),
+    /// Compare two stored contracts.
+    Diff(DiffRequest),
+    /// Enumerate the store.
+    List,
+    /// Record provenance for one (NF, level).
+    Provenance {
+        /// NF name.
+        nf: String,
+        /// Stack-level tag.
+        level: u8,
+    },
+    /// Server counters.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The request's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Query(_) => Opcode::Query,
+            Request::Diff(_) => Opcode::Diff,
+            Request::List => Opcode::List,
+            Request::Provenance { .. } => Opcode::Provenance,
+            Request::Stats => Opcode::Stats,
+            Request::Shutdown => Opcode::Shutdown,
+        }
+    }
+
+    /// Encode to one frame payload (version byte, opcode, body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(PROTOCOL_VERSION);
+        w.u8(self.opcode() as u8);
+        match self {
+            Request::Ping | Request::List | Request::Stats | Request::Shutdown => {}
+            Request::Query(q) => {
+                w.str(&q.nf);
+                w.u8(q.level);
+                w.u8(q.metric);
+                match &q.tag {
+                    Some(t) => {
+                        w.bool(true);
+                        w.str(t);
+                    }
+                    None => w.bool(false),
+                }
+                w.varint(q.pcvs.len() as u64);
+                for (name, v) in &q.pcvs {
+                    w.str(name);
+                    w.u64(*v);
+                }
+            }
+            Request::Diff(d) => {
+                w.str(&d.a);
+                w.str(&d.b);
+                w.u8(d.metric);
+            }
+            Request::Provenance { nf, level } => {
+                w.str(nf);
+                w.u8(*level);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a request frame payload. Rejects version skew, unknown
+    /// opcodes, and malformed or over-long bodies — always with an
+    /// error, never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = ByteReader::new(payload);
+        let ver = r.u8()?;
+        if ver != PROTOCOL_VERSION {
+            return Err(DecodeError::Malformed("protocol version mismatch"));
+        }
+        let op = Opcode::from_u8(r.u8()?)?;
+        let req = match op {
+            Opcode::Ping => Request::Ping,
+            Opcode::List => Request::List,
+            Opcode::Stats => Request::Stats,
+            Opcode::Shutdown => Request::Shutdown,
+            Opcode::Query => {
+                let nf = r.str()?.to_owned();
+                let level = r.u8()?;
+                let metric = r.u8()?;
+                let tag = if r.bool()? {
+                    Some(r.str()?.to_owned())
+                } else {
+                    None
+                };
+                let n = r.count(1 << 16)?;
+                let mut pcvs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_owned();
+                    let v = r.u64()?;
+                    pcvs.push((name, v));
+                }
+                Request::Query(QueryRequest {
+                    nf,
+                    level,
+                    metric,
+                    tag,
+                    pcvs,
+                })
+            }
+            Opcode::Diff => Request::Diff(DiffRequest {
+                a: r.str()?.to_owned(),
+                b: r.str()?.to_owned(),
+                metric: r.u8()?,
+            }),
+            Opcode::Provenance => Request::Provenance {
+                nf: r.str()?.to_owned(),
+                level: r.u8()?,
+            },
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A query answer: the rendered text (identical to what a one-shot
+/// `bolt_cli query` against the same store prints) plus the structured
+/// worst-path fields for programmatic callers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryReply {
+    /// Whether any path of the contract is compatible with the class.
+    pub found: bool,
+    /// Index of the worst compatible path (0 when `found` is false).
+    pub path_index: u64,
+    /// Its predicted value at the supplied PCV binding.
+    pub value: u64,
+    /// The rendered answer, byte-identical to the CLI's local output.
+    pub text: String,
+}
+
+/// A snapshot of the server's counters, as ordered name/value pairs (the
+/// encoding is schema-free so counters can be added without a protocol
+/// bump).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StatsReply {
+    /// Counter names and values, in the server's canonical order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StatsReply {
+    /// Look up one counter by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A decoded response frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// Ping answer: the server's crate version.
+    Pong {
+        /// Server crate version (`CARGO_PKG_VERSION`).
+        version: String,
+    },
+    /// Query answer.
+    Query(QueryReply),
+    /// Diff answer: rendered comparison text.
+    Diff {
+        /// The rendered diff, byte-identical to the CLI's local output.
+        text: String,
+    },
+    /// Store listing.
+    List {
+        /// Number of records enumerated.
+        entries: u64,
+        /// The rendered table, byte-identical to the CLI's local output.
+        text: String,
+    },
+    /// Provenance answer: rendered record/cache state.
+    Provenance {
+        /// The rendered provenance block.
+        text: String,
+    },
+    /// Server counters.
+    Stats(StatsReply),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+    /// The request failed; the connection remains usable (unless the
+    /// failure was a frame-sync violation, in which case the server
+    /// closes it after sending this).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encode to one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        if let Response::Error { message } = self {
+            w.u8(1);
+            w.str(message);
+            return w.into_bytes();
+        }
+        w.u8(0);
+        match self {
+            Response::Pong { version } => {
+                w.u8(Opcode::Ping as u8);
+                w.str(version);
+            }
+            Response::Query(q) => {
+                w.u8(Opcode::Query as u8);
+                w.bool(q.found);
+                w.varint(q.path_index);
+                w.u64(q.value);
+                w.str(&q.text);
+            }
+            Response::Diff { text } => {
+                w.u8(Opcode::Diff as u8);
+                w.str(text);
+            }
+            Response::List { entries, text } => {
+                w.u8(Opcode::List as u8);
+                w.varint(*entries);
+                w.str(text);
+            }
+            Response::Provenance { text } => {
+                w.u8(Opcode::Provenance as u8);
+                w.str(text);
+            }
+            Response::Stats(s) => {
+                w.u8(Opcode::Stats as u8);
+                w.varint(s.counters.len() as u64);
+                for (name, v) in &s.counters {
+                    w.str(name);
+                    w.u64(*v);
+                }
+            }
+            Response::ShuttingDown => {
+                w.u8(Opcode::Shutdown as u8);
+            }
+            Response::Error { .. } => unreachable!("handled above"),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a response frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = ByteReader::new(payload);
+        match r.u8()? {
+            1 => {
+                let message = r.str()?.to_owned();
+                r.expect_end()?;
+                return Ok(Response::Error { message });
+            }
+            0 => {}
+            _ => return Err(DecodeError::Malformed("response status out of range")),
+        }
+        let op = Opcode::from_u8(r.u8()?)?;
+        let resp = match op {
+            Opcode::Ping => Response::Pong {
+                version: r.str()?.to_owned(),
+            },
+            Opcode::Query => Response::Query(QueryReply {
+                found: r.bool()?,
+                path_index: r.varint()?,
+                value: r.u64()?,
+                text: r.str()?.to_owned(),
+            }),
+            Opcode::Diff => Response::Diff {
+                text: r.str()?.to_owned(),
+            },
+            Opcode::List => Response::List {
+                entries: r.varint()?,
+                text: r.str()?.to_owned(),
+            },
+            Opcode::Provenance => Response::Provenance {
+                text: r.str()?.to_owned(),
+            },
+            Opcode::Stats => {
+                let n = r.count(1 << 10)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_owned();
+                    let v = r.u64()?;
+                    counters.push((name, v));
+                }
+                Response::Stats(StatsReply { counters })
+            }
+            Opcode::Shutdown => Response::ShuttingDown,
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+/// A frame-sync violation: the stream cannot be trusted past this point,
+/// so the connection must be closed (after a best-effort error frame).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, blocking. `Ok(None)` on clean end-of-stream (EOF at a
+/// frame boundary); `InvalidData` when the length prefix exceeds
+/// [`MAX_FRAME`] or EOF lands mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::TooLarge(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Incremental frame accumulator for non-blocking readers (the server's
+/// connection loop reads with a timeout so it can observe shutdown, so
+/// it may see partial frames; this buffers bytes until a whole frame is
+/// available).
+#[derive(Default, Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether buffered bytes are waiting (a partial or complete frame).
+    pub fn has_pending(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Pop the next complete frame payload, if one is buffered.
+    /// `Err(TooLarge)` poisons the stream — the caller must close the
+    /// connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::List,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query(QueryRequest {
+                nf: "bridge".into(),
+                level: 1,
+                metric: 2,
+                tag: Some("dst:broadcast".into()),
+                pcvs: vec![("e".into(), 16), ("t".into(), 4)],
+            }),
+            Request::Query(QueryRequest {
+                nf: "nat-a".into(),
+                level: 0,
+                metric: 0,
+                tag: None,
+                pcvs: vec![],
+            }),
+            Request::Diff(DiffRequest {
+                a: "firewall".into(),
+                b: "static_router:nf-only".into(),
+                metric: 1,
+            }),
+            Request::Provenance {
+                nf: "lb".into(),
+                level: 1,
+            },
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong {
+                version: "0.1.0".into(),
+            },
+            Response::Query(QueryReply {
+                found: true,
+                path_index: 7,
+                value: 12345,
+                text: "bridge @ full-stack (warm)...\n".into(),
+            }),
+            Response::Query(QueryReply {
+                found: false,
+                path_index: 0,
+                value: 0,
+                text: "no path\n".into(),
+            }),
+            Response::Diff {
+                text: "diff a vs b\n".into(),
+            },
+            Response::List {
+                entries: 3,
+                text: "...".into(),
+            },
+            Response::Provenance {
+                text: "provenance...\n".into(),
+            },
+            Response::Stats(StatsReply {
+                counters: vec![("requests".into(), 9), ("memo_hits".into(), 4)],
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown NF \"tor\"".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors_not_panics() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION, 0xEE]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION + 1, Opcode::Ping as u8]).is_err());
+        // Trailing garbage after a valid body.
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+        // Truncated query body.
+        let q = Request::Query(QueryRequest {
+            nf: "bridge".into(),
+            level: 1,
+            metric: 0,
+            tag: None,
+            pcvs: vec![],
+        })
+        .encode();
+        for cut in 0..q.len() {
+            assert!(Request::decode(&q[..cut]).is_err());
+        }
+        assert!(Response::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let payload = Request::Ping.encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        let mut fb = FrameBuffer::new();
+        // Feed one byte at a time: no frame until the last byte.
+        for (i, b) in framed.iter().enumerate() {
+            fb.extend(&[*b]);
+            let got = fb.next_frame().unwrap();
+            if i + 1 < framed.len() {
+                assert!(got.is_none());
+            } else {
+                assert_eq!(got.unwrap(), payload);
+            }
+        }
+        assert!(!fb.has_pending());
+        // Two frames in one burst.
+        let mut burst = Vec::new();
+        write_frame(&mut burst, &payload).unwrap();
+        write_frame(&mut burst, &payload).unwrap();
+        fb.extend(&burst);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), payload);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), payload);
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefixes_poison_the_stream() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(FrameError::TooLarge(u32::MAX)));
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn read_frame_handles_eof() {
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(read_frame(&mut empty).unwrap().is_none());
+        let mut partial = std::io::Cursor::new(vec![3, 0]);
+        assert!(read_frame(&mut partial).is_err());
+        let mut midframe = std::io::Cursor::new(vec![3, 0, 0, 0, 1]);
+        assert!(read_frame(&mut midframe).is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! The socket front end: accept loops, per-connection threads, graceful
+//! drain.
+//!
+//! A [`Server`] listens on a Unix socket, a TCP address, or both, and
+//! runs one thread per connection over the shared [`ServeCore`]. All
+//! sockets run with short read timeouts instead of blocking forever, so
+//! every thread observes the shutdown flag within a poll interval:
+//!
+//! * **accept loops** poll non-blocking listeners and exit once
+//!   [`Server::request_shutdown`] (or a client's `Shutdown` request)
+//!   raises the flag;
+//! * **connection threads** keep draining bytes already received —
+//!   requests fully written before the shutdown are still answered —
+//!   and exit at the first moment the stream goes idle under shutdown.
+//!
+//! Malformed input never takes the server down: an undecodable request
+//! gets an error frame and the connection lives on; only a frame-sync
+//! violation (a length prefix beyond [`crate::protocol::MAX_FRAME`])
+//! closes the offending connection, because the stream cannot be
+//! resynchronised past an untrusted length.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{write_frame, FrameBuffer, Request, Response};
+use crate::service::ServeCore;
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag, and how long an idle accept loop sleeps between polls.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Where to listen. At least one endpoint must be set.
+#[derive(Default, Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (removed on startup if stale, and again
+    /// on shutdown).
+    pub unix: Option<PathBuf>,
+    /// TCP listen address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub tcp: Option<String>,
+}
+
+/// A running server: listener threads, connection threads, shutdown
+/// plumbing. Dropped handles keep running; call [`Server::join`] to
+/// drain and stop.
+pub struct Server {
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+    accept_handles: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the configured endpoints and start accepting.
+    pub fn start(core: ServeCore, config: ServerConfig) -> io::Result<Server> {
+        if config.unix.is_none() && config.tcp.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server config names no endpoint (need a unix path or a tcp address)",
+            ));
+        }
+        let core = Arc::new(core);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let mut accept_handles = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            accept_handles.push(spawn_acceptor(
+                Arc::clone(&core),
+                Arc::clone(&shutdown),
+                Arc::clone(&conns),
+                move |l: &TcpListener| l.accept().map(|(s, _)| s),
+                listener,
+            ));
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &config.unix {
+            // A previous server that died uncleanly leaves its socket
+            // file behind; binding over it needs the unlink first.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            accept_handles.push(spawn_acceptor(
+                Arc::clone(&core),
+                Arc::clone(&shutdown),
+                Arc::clone(&conns),
+                move |l: &UnixListener| l.accept().map(|(s, _)| s),
+                listener,
+            ));
+        }
+        #[cfg(not(unix))]
+        if config.unix.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are unavailable on this platform; use --tcp",
+            ));
+        }
+        Ok(Server {
+            core,
+            shutdown,
+            accept_handles,
+            conns,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address, when a TCP endpoint was configured (the
+    /// way callers learn an ephemeral port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path, when one was configured.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The shared query engine (for in-process inspection in tests and
+    /// benches).
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// Raise the shutdown flag: accept loops stop, connections drain.
+    /// Also raised when any client sends a `Shutdown` request.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server has fully stopped: waits for the shutdown
+    /// flag, joins the accept loops and every connection thread (each
+    /// finishes answering what it already received), flushes pending
+    /// cache-hit touches to the store's LRU stamps, and removes the
+    /// Unix socket file. Returns the engine for post-mortem inspection.
+    pub fn join(self) -> Arc<ServeCore> {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+        }
+        for h in self.accept_handles {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.core.flush_touches();
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        self.core
+    }
+}
+
+/// Anything a connection runs over: both socket families read, write,
+/// and support a read timeout (the shutdown-poll mechanism).
+trait Conn: Read + Write + Send {
+    /// Set the blocking-read timeout.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, dur)
+    }
+}
+
+/// Spawn one accept loop over a non-blocking listener. Also reaps
+/// finished connection threads each pass so the handle list does not
+/// grow with total connections served.
+fn spawn_acceptor<L, S>(
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: impl Fn(&L) -> io::Result<S> + Send + 'static,
+    listener: L,
+) -> JoinHandle<()>
+where
+    L: Send + 'static,
+    S: Conn + 'static,
+{
+    std::thread::spawn(move || loop {
+        match accept(&listener) {
+            Ok(stream) => {
+                core.note_connection();
+                let core = Arc::clone(&core);
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::spawn(move || serve_conn(&core, &shutdown, stream));
+                let mut guard = conns.lock().expect("conns poisoned");
+                guard.push(handle);
+                let mut i = 0;
+                while i < guard.len() {
+                    if guard[i].is_finished() {
+                        let _ = guard.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+    })
+}
+
+/// Serve one connection until EOF, a frame-sync violation, or an idle
+/// stream under shutdown. Complete frames already received are always
+/// answered, shutdown or not — the drain guarantee.
+fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        // Answer everything already buffered before reading more.
+        loop {
+            match fb.next_frame() {
+                Ok(Some(payload)) => {
+                    if !handle_frame(core, shutdown, &mut stream, &payload) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    core.note_protocol_error();
+                    let reply = Response::Error {
+                        message: e.to_string(),
+                    };
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle. Bytes written before a shutdown are already in
+                // the kernel buffer, so a post-shutdown read would have
+                // returned them — an idle stream under shutdown has
+                // nothing left to drain.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode and answer one frame. Returns `false` when the connection
+/// should close (shutdown acknowledged or the reply could not be
+/// written).
+fn handle_frame<S: Conn>(
+    core: &ServeCore,
+    shutdown: &AtomicBool,
+    stream: &mut S,
+    payload: &[u8],
+) -> bool {
+    let req = match Request::decode(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            // Bad body, intact framing: answer the error, keep serving.
+            core.note_protocol_error();
+            let reply = Response::Error {
+                message: format!("bad request: {e}"),
+            };
+            return write_frame(stream, &reply.encode()).is_ok();
+        }
+    };
+    let is_shutdown = matches!(req, Request::Shutdown);
+    let reply = core.handle(&req);
+    let sent = write_frame(stream, &reply.encode()).is_ok();
+    if is_shutdown {
+        // Flag after replying, so the requester gets its ack.
+        shutdown.store(true, Ordering::SeqCst);
+        return false;
+    }
+    sent
+}

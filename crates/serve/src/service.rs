@@ -1,0 +1,550 @@
+//! Request handling: the store-backed query engine behind the socket
+//! server (and behind the CLI's local commands, so local and remote
+//! answers are rendered by the same code and stay byte-identical).
+//!
+//! [`ServeCore`] owns the open [`ContractStore`] and the hot-contract
+//! [`ContractCache`]; every protocol request maps to one method here.
+//! The cost ladder a query can land on, cheapest first:
+//!
+//! 1. **Memo hit** — this exact (NF, level, class, metric, PCVs) was
+//!    answered before: return the stored reply. Zero explorations, zero
+//!    solver requests, zero record decodes.
+//! 2. **Cache hit** — the contract is hot but the question is new: one
+//!    solver pass over the in-memory contract. Zero decodes.
+//! 3. **Store hit** — decode the record, rehydrate the pool, generate
+//!    the contract, admit it to the cache, then as (2).
+//! 4. **Miss** — explore fresh (persisting the record), then as (3).
+//!
+//! Every rung is counted in [`ServeCore::stats_reply`], which is how the
+//! protocol tests pin the "warm repeat does zero work" property.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bolt_core::store::{level_from_tag, level_tag, store_key, RecordKind, StoreExt};
+use bolt_core::{generate, ClassSpec, Exploration, InputClass, NetworkFunction};
+use bolt_expr::PcvAssignment;
+use bolt_nfs::nat::{AllocKind, NatConfig};
+use bolt_nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
+use bolt_solver::Solver;
+use bolt_store::{ContractStore, Fingerprint};
+use bolt_trace::Metric;
+use dpdk_sim::StackLevel;
+
+use crate::cache::{CacheConfig, CacheEntry, ContractCache, MemoKey};
+use crate::protocol::{DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply};
+
+/// The NF dispatch vocabulary the server understands (the same names
+/// `bolt_cli` accepts; `nat` is an alias for `nat-a`).
+pub const NF_NAMES: [&str; 8] = [
+    "bridge",
+    "example_router",
+    "firewall",
+    "lb",
+    "lpm_router",
+    "nat-a",
+    "nat-b",
+    "static_router",
+];
+
+/// Dispatch a generic body over an NF named at runtime; unknown names
+/// early-return `Err` with the CLI's exact wording.
+macro_rules! with_nf {
+    ($name:expr, $nf:ident => $body:block) => {
+        match $name {
+            "bridge" => {
+                let $nf = Bridge::default();
+                $body
+            }
+            "example_router" => {
+                let $nf = ExampleRouter::default();
+                $body
+            }
+            "firewall" => {
+                let $nf = Firewall::default();
+                $body
+            }
+            "lb" => {
+                let $nf = LoadBalancer::default();
+                $body
+            }
+            "lpm_router" => {
+                let $nf = LpmRouter::default();
+                $body
+            }
+            "nat" | "nat-a" => {
+                let $nf = Nat::with(NatConfig::default(), AllocKind::A);
+                $body
+            }
+            "nat-b" => {
+                let $nf = Nat::with(NatConfig::default(), AllocKind::B);
+                $body
+            }
+            "static_router" => {
+                let $nf = StaticRouter::default();
+                $body
+            }
+            other => {
+                return Err(format!(
+                    "unknown NF {other:?}; known: {}",
+                    NF_NAMES.join(", ")
+                ))
+            }
+        }
+    };
+}
+
+/// Human name of a stack-level tag (matches the CLI's rendering).
+pub fn level_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "nf-only",
+        1 => "full-stack",
+        _ => "?",
+    }
+}
+
+/// Parse a `NF[:LEVEL]` side spec (level defaults to full-stack).
+fn parse_side(s: &str) -> Result<(&str, StackLevel), String> {
+    match s.split_once(':') {
+        Some((n, l)) => match l {
+            "nf-only" => Ok((n, StackLevel::NfOnly)),
+            "full-stack" => Ok((n, StackLevel::FullStack)),
+            _ => Err(format!("bad level {l:?} (nf-only | full-stack)")),
+        },
+        None => Ok((s, StackLevel::FullStack)),
+    }
+}
+
+fn parse_metric(tag: u8) -> Result<Metric, String> {
+    Metric::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| format!("bad metric tag {tag} (0..={})", Metric::ALL.len() - 1))
+}
+
+fn parse_level(tag: u8) -> Result<StackLevel, String> {
+    level_from_tag(tag).ok_or_else(|| format!("bad level tag {tag} (0 = nf-only, 1 = full-stack)"))
+}
+
+fn class_of(tag: &Option<String>) -> InputClass {
+    match tag {
+        Some(t) => InputClass::new(
+            format!("tag:{t}"),
+            ClassSpec::Tag(bolt_store::intern_tag(t)),
+        ),
+        None => InputClass::unconstrained(),
+    }
+}
+
+/// Monotonic request/work counters. Names are the wire vocabulary of
+/// the `stats` reply, so tests and dashboards address them by string.
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+    protocol_errors: AtomicU64,
+    queries: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    contract_decodes: AtomicU64,
+    explorations: AtomicU64,
+    solver_queries: AtomicU64,
+    evictions: AtomicU64,
+    touches_flushed: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, c: &AtomicU64) -> u64 {
+        c.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn snapshot(&self) -> Vec<(String, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            ("requests", read(&self.requests)),
+            ("errors", read(&self.errors)),
+            ("connections", read(&self.connections)),
+            ("protocol_errors", read(&self.protocol_errors)),
+            ("queries", read(&self.queries)),
+            ("memo_hits", read(&self.memo_hits)),
+            ("memo_misses", read(&self.memo_misses)),
+            ("cache_hits", read(&self.cache_hits)),
+            ("cache_misses", read(&self.cache_misses)),
+            ("contract_decodes", read(&self.contract_decodes)),
+            ("explorations", read(&self.explorations)),
+            ("solver_queries", read(&self.solver_queries)),
+            ("evictions", read(&self.evictions)),
+            ("touches_flushed", read(&self.touches_flushed)),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+    }
+}
+
+/// The query engine: one open store, one hot-contract cache, counters.
+/// Shared across connection threads behind an `Arc`; all methods take
+/// `&self`.
+pub struct ServeCore {
+    store: ContractStore,
+    cache: ContractCache,
+    counters: Counters,
+}
+
+impl ServeCore {
+    /// Engine over a store with default cache tuning.
+    pub fn new(store: ContractStore) -> Self {
+        Self::with_config(store, CacheConfig::default())
+    }
+
+    /// Engine over a store with explicit cache tuning.
+    pub fn with_config(store: ContractStore, config: CacheConfig) -> Self {
+        ServeCore {
+            store,
+            cache: ContractCache::new(config),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ContractStore {
+        &self.store
+    }
+
+    /// Counter snapshot (the `stats` reply body).
+    pub fn stats_reply(&self) -> StatsReply {
+        StatsReply {
+            counters: self.counters.snapshot(),
+        }
+    }
+
+    /// Record an accepted connection (called by the socket server).
+    pub fn note_connection(&self) {
+        self.counters.bump(&self.counters.connections);
+    }
+
+    /// Record a frame/decode-level protocol violation (called by the
+    /// socket server).
+    pub fn note_protocol_error(&self) {
+        self.counters.bump(&self.counters.protocol_errors);
+    }
+
+    /// Write every pending cache-hit touch to the store's last-used
+    /// stamps, unconditionally (the shutdown path; the batched path
+    /// runs automatically on cache hits). Returns how many records were
+    /// stamped.
+    pub fn flush_touches(&self) -> u64 {
+        self.flush(true)
+    }
+
+    fn flush(&self, force: bool) -> u64 {
+        let mut stamped = 0;
+        for key in self.cache.take_pending_touches(force) {
+            if let Ok(true) = self.store.touch(key, RecordKind::Exploration) {
+                stamped += 1;
+                self.counters.bump(&self.counters.touches_flushed);
+            }
+        }
+        stamped
+    }
+
+    /// Answer one decoded request. Service failures become
+    /// [`Response::Error`]; this never panics on untrusted input.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.counters.bump(&self.counters.requests);
+        let result = match req {
+            Request::Ping => Ok(Response::Pong {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+            }),
+            Request::Query(q) => self.query(q).map(Response::Query),
+            Request::Diff(d) => self.diff(d).map(|text| Response::Diff { text }),
+            Request::List => self
+                .list()
+                .map(|(entries, text)| Response::List { entries, text }),
+            Request::Provenance { nf, level } => self
+                .provenance(nf, *level)
+                .map(|text| Response::Provenance { text }),
+            Request::Stats => Ok(Response::Stats(self.stats_reply())),
+            Request::Shutdown => Ok(Response::ShuttingDown),
+        };
+        result.unwrap_or_else(|message| {
+            self.counters.bump(&self.counters.errors);
+            Response::Error { message }
+        })
+    }
+
+    /// Get the hot contract for (NF name, level): cache hit, store
+    /// decode, or fresh exploration — admitting to the cache on the
+    /// latter two.
+    fn load(
+        &self,
+        name: &str,
+        level: StackLevel,
+    ) -> Result<(Fingerprint, Arc<Mutex<CacheEntry>>), String> {
+        with_nf!(name, nf => {
+            let key = store_key(&nf, level);
+            if let Some(entry) = self.cache.lookup(key) {
+                self.counters.bump(&self.counters.cache_hits);
+                self.flush(false);
+                return Ok((key, entry));
+            }
+            self.counters.bump(&self.counters.cache_misses);
+            let ex = self.store.get_or_explore(&nf, level);
+            if ex.cached {
+                self.counters.bump(&self.counters.contract_decodes);
+            } else {
+                self.counters.bump(&self.counters.explorations);
+            }
+            let nf_name = NetworkFunction::name(&nf);
+            let Exploration {
+                reg,
+                result,
+                cached,
+                ..
+            } = ex;
+            let contract = generate(&reg, result);
+            // Weight = the record's on-disk bytes (header + payload):
+            // the same unit `sweep --budget` ranks, so the cache budget
+            // and the store budget talk about the same thing. A record
+            // the store failed to persist is estimated from shape.
+            let weight = self
+                .store
+                .peek(key, RecordKind::Exploration)
+                .map(|h| h.header_len + h.payload_len)
+                .unwrap_or_else(|| 1024 + 512 * contract.paths.len() as u64);
+            let entry = CacheEntry {
+                nf_name,
+                level,
+                from_store: cached,
+                reg,
+                contract,
+                solver: Solver::default(),
+                memo: Default::default(),
+            };
+            let (entry, evicted) = self.cache.insert(key, entry, weight);
+            for _ in &evicted {
+                self.counters.bump(&self.counters.evictions);
+            }
+            Ok((key, entry))
+        })
+    }
+
+    /// Answer a query. The rendered text is byte-identical to what
+    /// `bolt_cli query` prints locally against the same store state.
+    pub fn query(&self, q: &QueryRequest) -> Result<QueryReply, String> {
+        let level = parse_level(q.level)?;
+        let metric = parse_metric(q.metric)?;
+        self.counters.bump(&self.counters.queries);
+        let (_, entry) = self.load(&q.nf, level)?;
+        let mut pcvs = q.pcvs.clone();
+        pcvs.sort_by(|a, b| a.0.cmp(&b.0));
+        let memo_key: MemoKey = (q.metric, q.tag.clone(), pcvs);
+        let mut e = entry.lock().expect("entry poisoned");
+        if let Some(reply) = e.memo.get(&memo_key) {
+            self.counters.bump(&self.counters.memo_hits);
+            return Ok(reply.clone());
+        }
+        self.counters.bump(&self.counters.memo_misses);
+        let mut env = PcvAssignment::new();
+        for (name, v) in &q.pcvs {
+            match e.reg.pcvs.lookup(name) {
+                Some(id) => {
+                    env.set(id, *v);
+                }
+                None => {
+                    let known: Vec<&str> = e.reg.pcvs.iter().map(|(_, n)| n).collect();
+                    return Err(format!(
+                        "unknown PCV {name:?}; this contract knows: {}",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        let class = class_of(&q.tag);
+        self.counters.bump(&self.counters.solver_queries);
+        let source = if e.from_store { "warm" } else { "explored" };
+        let CacheEntry {
+            nf_name,
+            reg,
+            contract,
+            solver,
+            memo,
+            ..
+        } = &mut *e;
+        let reply = match contract.query(solver, &class, metric, &env) {
+            None => QueryReply {
+                found: false,
+                path_index: 0,
+                value: 0,
+                text: format!("no path of {nf_name} is compatible with {}\n", class.name),
+            },
+            Some(r) => {
+                let path = &contract.paths[r.path_index];
+                let text = format!(
+                    "{nf_name} @ {} ({source}), class {}, metric {metric}:\n\
+                     \x20 worst path : #{} tags {:?}\n\
+                     \x20 expression : {}\n\
+                     \x20 prediction : {} {metric}\n",
+                    level_name(level_tag(level)),
+                    class.name,
+                    r.path_index,
+                    path.tags,
+                    r.expr.display(&reg.pcvs),
+                    r.value,
+                );
+                QueryReply {
+                    found: true,
+                    path_index: r.path_index as u64,
+                    value: r.value,
+                    text,
+                }
+            }
+        };
+        memo.insert(memo_key, reply.clone());
+        Ok(reply)
+    }
+
+    /// Compare two stored contracts; rendering matches `bolt_cli diff`.
+    pub fn diff(&self, d: &DiffRequest) -> Result<String, String> {
+        let metric = parse_metric(d.metric)?;
+        let (name_a, level_a) = parse_side(&d.a)?;
+        let (name_b, level_b) = parse_side(&d.b)?;
+        let (ka, ea) = self.load(name_a, level_a)?;
+        let (kb, eb) = self.load(name_b, level_b)?;
+        // Like the CLI's diff, make sure a contract *record* backs each
+        // side on disk (diff is about stored artifacts, not transient
+        // state); the cache already holds the generated contract, so
+        // this is encode+write only, and only when absent.
+        for (k, e, name, level) in [(ka, &ea, name_a, level_a), (kb, &eb, name_b, level_b)] {
+            if self.store.peek(k, RecordKind::Contract).is_none() {
+                let g = e.lock().expect("entry poisoned");
+                self.store
+                    .put_contract(k, name, level, &g.contract)
+                    .map_err(|err| format!("cannot write contract record: {err}"))?;
+            }
+        }
+        let env = PcvAssignment::new();
+        let measure = |e: &CacheEntry| {
+            let worst = e
+                .contract
+                .paths
+                .iter()
+                .map(|p| p.expr(metric).eval(&env))
+                .max()
+                .unwrap_or(0);
+            let tags: BTreeSet<&'static str> = e
+                .contract
+                .paths
+                .iter()
+                .flat_map(|p| p.tags.iter().copied())
+                .collect();
+            (e.contract.paths.len(), worst, tags)
+        };
+        // Same key ⇒ same entry ⇒ one lock; different keys lock in key
+        // order so concurrent diffs cannot deadlock.
+        let ((na, wa, ta), (nb, wb, tb)) = if ka == kb {
+            let g = ea.lock().expect("entry poisoned");
+            let m = measure(&g);
+            (m.clone(), m)
+        } else if ka < kb {
+            let ga = ea.lock().expect("entry poisoned");
+            let gb = eb.lock().expect("entry poisoned");
+            (measure(&ga), measure(&gb))
+        } else {
+            let gb = eb.lock().expect("entry poisoned");
+            let ga = ea.lock().expect("entry poisoned");
+            (measure(&ga), measure(&gb))
+        };
+        let (sa, sb) = (&d.a, &d.b);
+        let mut out = format!("diff {sa} vs {sb} ({metric}, PCVs all 0):\n");
+        out.push_str(&format!("  paths      : {na} vs {nb}\n"));
+        out.push_str(&format!(
+            "  worst case : {wa} vs {wb} ({:+})\n",
+            wb as i128 - wa as i128
+        ));
+        let only_a: Vec<&str> = ta.difference(&tb).copied().collect();
+        let only_b: Vec<&str> = tb.difference(&ta).copied().collect();
+        if !only_a.is_empty() {
+            out.push_str(&format!("  tags only in {sa}: {only_a:?}\n"));
+        }
+        if !only_b.is_empty() {
+            out.push_str(&format!("  tags only in {sb}: {only_b:?}\n"));
+        }
+        if only_a.is_empty() && only_b.is_empty() {
+            out.push_str("  tag vocabularies agree\n");
+        }
+        Ok(out)
+    }
+
+    /// Enumerate the store — a pure header pass (no payload decodes);
+    /// rendering matches `bolt_cli list`.
+    pub fn list(&self) -> Result<(u64, String), String> {
+        let entries = self
+            .store
+            .list()
+            .map_err(|e| format!("cannot list store: {e}"))?;
+        if entries.is_empty() {
+            return Ok((0, format!("store at {:?} is empty\n", self.store.dir())));
+        }
+        let mut out = format!(
+            "{:>14} {:>10} {:>11} {:>6} {:>9}  key\n",
+            "nf", "level", "kind", "paths", "bytes"
+        );
+        let n = entries.len() as u64;
+        for e in entries {
+            let kind = match e.kind {
+                RecordKind::Exploration => "exploration",
+                RecordKind::Contract => "contract",
+                RecordKind::Composed => "composed",
+            };
+            out.push_str(&format!(
+                "{:>14} {:>10} {kind:>11} {:>6} {:>9}  {}\n",
+                e.nf_name,
+                level_name(e.level),
+                e.n_paths,
+                e.payload_len,
+                e.fingerprint
+            ));
+        }
+        Ok((n, out))
+    }
+
+    /// Where an (NF, level)'s records stand: the store key, each on-disk
+    /// record's header metadata, and the server cache's view.
+    pub fn provenance(&self, name: &str, level: u8) -> Result<String, String> {
+        let level = parse_level(level)?;
+        let key = self.key_of(name, level)?;
+        let mut out = format!("{name} @ {}:\n", level_name(level_tag(level)));
+        out.push_str(&format!("  key         : {key}\n"));
+        for (label, kind) in [
+            ("exploration", RecordKind::Exploration),
+            ("contract", RecordKind::Contract),
+        ] {
+            match self.store.peek(key, kind) {
+                Some(h) => out.push_str(&format!(
+                    "  {label:<11} : {} paths, {} bytes on disk, last-used stamp {}\n",
+                    h.n_paths,
+                    h.header_len + h.payload_len,
+                    h.last_used
+                )),
+                None => out.push_str(&format!("  {label:<11} : absent\n")),
+            }
+        }
+        match self.cache.slot_info(key) {
+            Some((weight, memo)) => out.push_str(&format!(
+                "  cache       : hot ({weight} bytes, {memo} memoised answer(s))\n"
+            )),
+            None => out.push_str("  cache       : cold\n"),
+        }
+        Ok(out)
+    }
+
+    /// The store key of an (NF name, level) pair.
+    pub fn key_of(&self, name: &str, level: StackLevel) -> Result<Fingerprint, String> {
+        with_nf!(name, nf => { Ok(store_key(&nf, level)) })
+    }
+}

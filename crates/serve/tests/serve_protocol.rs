@@ -1,0 +1,405 @@
+//! End-to-end protocol tests: concurrent clients get byte-identical
+//! answers, warm repeats do zero work, malformed frames never take the
+//! server down, shutdown drains in-flight requests, and server cache
+//! hits keep the on-disk LRU honest.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use bolt_core::store::{level_tag, store_key, RecordKind, StoreExt};
+use bolt_core::{ClassSpec, InputClass, NetworkFunction};
+use bolt_expr::PcvAssignment;
+use bolt_nfs::{Bridge, Firewall};
+use bolt_serve::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+use bolt_serve::{
+    CacheConfig, Client, Endpoint, QueryRequest, ServeCore, Server, ServerConfig, StatsReply,
+};
+use bolt_store::ContractStore;
+use bolt_trace::Metric;
+use dpdk_sim::StackLevel;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bolt-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Open a store pre-warmed with bridge + firewall at nf-only level, so
+/// server queries are store hits (the CLI's `(warm)` source), never
+/// fresh explorations.
+fn warm_store(tag: &str) -> (PathBuf, ContractStore) {
+    let dir = temp_dir(tag);
+    let store = ContractStore::open(dir.join("store")).unwrap();
+    let _ = store.get_or_explore(&Bridge::default(), StackLevel::NfOnly);
+    let _ = store.get_or_explore(&Firewall::default(), StackLevel::NfOnly);
+    (dir, store)
+}
+
+fn reopen(dir: &std::path::Path) -> ContractStore {
+    ContractStore::open(dir.join("store")).unwrap()
+}
+
+/// Render a query answer exactly the way `examples/bolt_cli.rs`
+/// `query_one` prints it (the one-shot CLI path: fresh process, fresh
+/// decode, its own rendering code). The server's answers must match
+/// this byte for byte.
+fn cli_query_text<N: NetworkFunction + Sync>(
+    store: &ContractStore,
+    nf: N,
+    level: StackLevel,
+    tag: Option<&str>,
+    pcvs: &[(&str, u64)],
+    metric: Metric,
+) -> String {
+    let ex = store.get_or_explore(&nf, level);
+    let source = if ex.cached { "warm" } else { "explored" };
+    let mut contract = ex.contract();
+    let mut env = PcvAssignment::new();
+    for (name, v) in pcvs {
+        let id = contract.reg.pcvs.lookup(name).expect("known PCV");
+        env.set(id, *v);
+    }
+    let class = match tag {
+        Some(t) => InputClass::new(
+            format!("tag:{t}"),
+            ClassSpec::Tag(bolt_store::intern_tag(t)),
+        ),
+        None => InputClass::unconstrained(),
+    };
+    let level_name = match level_tag(level) {
+        0 => "nf-only",
+        _ => "full-stack",
+    };
+    match contract.query(&class, metric, &env) {
+        None => format!(
+            "no path of {} is compatible with {}\n",
+            nf.name(),
+            class.name
+        ),
+        Some(q) => {
+            let path = &contract.paths()[q.path_index];
+            format!(
+                "{} @ {level_name} ({source}), class {}, metric {metric}:\n  \
+                 worst path : #{} tags {:?}\n  \
+                 expression : {}\n  \
+                 prediction : {} {metric}\n",
+                nf.name(),
+                class.name,
+                q.path_index,
+                path.tags,
+                contract.display_expr(&q.expr),
+                q.value
+            )
+        }
+    }
+}
+
+fn start_server(store: ContractStore, dir: &std::path::Path) -> Server {
+    Server::start(
+        ServeCore::new(store),
+        ServerConfig {
+            unix: Some(dir.join("bolt.sock")),
+            tcp: Some("127.0.0.1:0".to_string()),
+        },
+    )
+    .unwrap()
+}
+
+fn counter(stats: &StatsReply, name: &str) -> u64 {
+    stats
+        .get(name)
+        .unwrap_or_else(|| panic!("no counter {name}"))
+}
+
+#[test]
+fn concurrent_clients_match_one_shot_cli_queries() {
+    let (dir, store) = warm_store("concurrent");
+    // The expected answers, rendered the CLI's way from a separate store
+    // handle (a one-shot process equivalent).
+    let cases = [
+        ("bridge", None, Metric::Instructions),
+        ("bridge", Some("dst:known"), Metric::Cycles),
+        ("firewall", None, Metric::MemAccesses),
+    ];
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|(nf, tag, metric)| {
+            let s = reopen(&dir);
+            match *nf {
+                "bridge" => cli_query_text(
+                    &s,
+                    Bridge::default(),
+                    StackLevel::NfOnly,
+                    *tag,
+                    &[],
+                    *metric,
+                ),
+                _ => cli_query_text(
+                    &s,
+                    Firewall::default(),
+                    StackLevel::NfOnly,
+                    *tag,
+                    &[],
+                    *metric,
+                ),
+            }
+        })
+        .collect();
+
+    let server = start_server(store, &dir);
+    let tcp = Endpoint::Tcp(server.tcp_addr().unwrap().to_string());
+    let unix = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
+
+    // ≥4 concurrent clients, split across both socket families, each
+    // running every case several times.
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let ep = if i % 2 == 0 {
+            tcp.clone()
+        } else {
+            unix.clone()
+        };
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&ep).unwrap();
+            let mut texts = Vec::new();
+            for _round in 0..3 {
+                for (nf, tag, metric) in cases {
+                    let reply = client
+                        .query(QueryRequest {
+                            nf: nf.to_string(),
+                            level: level_tag(StackLevel::NfOnly),
+                            metric: metric.index() as u8,
+                            tag: tag.map(str::to_string),
+                            pcvs: vec![],
+                        })
+                        .unwrap();
+                    texts.push(reply.text);
+                }
+            }
+            texts
+        }));
+    }
+    for h in handles {
+        let texts = h.join().unwrap();
+        for (i, text) in texts.iter().enumerate() {
+            assert_eq!(
+                *text,
+                expected[i % cases.len()],
+                "server answer diverged from the one-shot CLI rendering"
+            );
+        }
+    }
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn repeated_queries_are_pure_cache_hits() {
+    let (dir, store) = warm_store("memo");
+    let server = start_server(store, &dir);
+    let ep = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
+    let mut client = Client::connect(&ep).unwrap();
+    let q = QueryRequest {
+        nf: "bridge".to_string(),
+        level: level_tag(StackLevel::NfOnly),
+        metric: Metric::Instructions.index() as u8,
+        tag: None,
+        pcvs: vec![],
+    };
+    // First ask: store hit (one record decode), solver runs once.
+    let first = client.query(q.clone()).unwrap();
+    let before = client.stats().unwrap();
+    assert_eq!(counter(&before, "contract_decodes"), 1);
+    assert_eq!(counter(&before, "explorations"), 0);
+    assert_eq!(counter(&before, "solver_queries"), 1);
+    // Repeat: answered from the memo — zero explorations, zero solver
+    // requests, zero record decodes.
+    let again = client.query(q).unwrap();
+    assert_eq!(again, first, "memoised answer must be byte-identical");
+    let after = client.stats().unwrap();
+    assert_eq!(counter(&after, "explorations"), 0);
+    assert_eq!(counter(&after, "solver_queries"), 1);
+    assert_eq!(counter(&after, "contract_decodes"), 1);
+    assert_eq!(
+        counter(&after, "memo_hits"),
+        counter(&before, "memo_hits") + 1
+    );
+    assert_eq!(
+        counter(&after, "memo_misses"),
+        counter(&before, "memo_misses")
+    );
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_frames_do_not_kill_the_server() {
+    let (dir, store) = warm_store("malformed");
+    let server = start_server(store, &dir);
+    let addr = server.tcp_addr().unwrap();
+
+    // Undecodable bodies: the connection gets an error frame and stays
+    // usable.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    for bad in [
+        vec![],                    // empty payload
+        vec![1, 0xEE],             // unknown opcode
+        vec![99, 1],               // wrong protocol version
+        vec![1, 2, 5, b'h', b'i'], // truncated query body
+    ] {
+        write_frame(&mut raw, &bad).unwrap();
+        let reply = Response::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+        assert!(matches!(reply, Response::Error { .. }), "got {reply:?}");
+    }
+    // Same connection still answers a valid request.
+    write_frame(&mut raw, &Request::Ping.encode()).unwrap();
+    let pong = Response::decode(&read_frame(&mut raw).unwrap().unwrap()).unwrap();
+    assert!(matches!(pong, Response::Pong { .. }));
+
+    // An oversized length prefix poisons stream sync: error frame, then
+    // the connection closes — but only that connection.
+    let mut hostile = TcpStream::connect(addr).unwrap();
+    hostile.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+    let reply = Response::decode(&read_frame(&mut hostile).unwrap().unwrap()).unwrap();
+    assert!(matches!(reply, Response::Error { .. }));
+    let mut probe = [0u8; 1];
+    assert_eq!(hostile.read(&mut probe).unwrap(), 0, "connection closed");
+
+    // A service-level error (unknown NF) is an error frame, not a crash.
+    let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+    let err = client
+        .query(QueryRequest {
+            nf: "tor".to_string(),
+            level: 0,
+            metric: 0,
+            tag: None,
+            pcvs: vec![],
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown NF"), "got {err}");
+    let err = client
+        .query(QueryRequest {
+            nf: "bridge".to_string(),
+            level: 0,
+            metric: 0,
+            tag: None,
+            pcvs: vec![("no-such-pcv".to_string(), 1)],
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown PCV"), "got {err}");
+
+    // The server survived everything above.
+    assert!(client.ping().is_ok());
+    let stats = client.stats().unwrap();
+    assert!(counter(&stats, "protocol_errors") >= 5);
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_requests_received_before_the_flag() {
+    let (dir, store) = warm_store("drain");
+    let server = start_server(store, &dir);
+    let sock = server.unix_path().unwrap().to_path_buf();
+    let q = Request::Query(QueryRequest {
+        nf: "firewall".to_string(),
+        level: level_tag(StackLevel::NfOnly),
+        metric: Metric::Instructions.index() as u8,
+        tag: None,
+        pcvs: vec![],
+    });
+    // Four clients write a query each but do not read yet.
+    let mut pending: Vec<UnixStream> = (0..4)
+        .map(|_| {
+            let mut s = UnixStream::connect(&sock).unwrap();
+            write_frame(&mut s, &q.encode()).unwrap();
+            s
+        })
+        .collect();
+    // Give the frames time to reach the per-connection threads, then
+    // ask for shutdown.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut killer = Client::connect(&Endpoint::Unix(sock)).unwrap();
+    killer.shutdown().unwrap();
+    // Every request written before the shutdown still gets its answer,
+    // and all answers agree.
+    let mut texts = Vec::new();
+    for s in &mut pending {
+        let payload = read_frame(s).unwrap().expect("drained reply");
+        match Response::decode(&payload).unwrap() {
+            Response::Query(r) => texts.push(r.text),
+            other => panic!("expected a query reply, got {other:?}"),
+        }
+    }
+    assert!(texts.windows(2).all(|w| w[0] == w[1]));
+    server.join();
+}
+
+#[test]
+fn server_cache_hits_keep_the_store_lru_honest() {
+    let (dir, store) = warm_store("coherence");
+    let hot_key = store_key(&Firewall::default(), StackLevel::NfOnly);
+    let cold_key = store_key(&Bridge::default(), StackLevel::NfOnly);
+    // flush_every=1 exercises the batched path on every hit.
+    let core = ServeCore::with_config(
+        store,
+        CacheConfig {
+            budget: 64 * 1024 * 1024,
+            flush_every: 1,
+        },
+    );
+    let ask = |nf: &str| {
+        core.query(&QueryRequest {
+            nf: nf.to_string(),
+            level: level_tag(StackLevel::NfOnly),
+            metric: 0,
+            tag: None,
+            pcvs: vec![],
+        })
+        .unwrap()
+    };
+    // Load bridge last so its *store get* stamp is newer than
+    // firewall's...
+    ask("firewall");
+    ask("bridge");
+    let stamp = |key| {
+        core.store()
+            .peek(key, RecordKind::Exploration)
+            .unwrap()
+            .last_used
+    };
+    assert!(stamp(cold_key) > stamp(hot_key));
+    // ...then keep firewall hot purely through server cache hits. The
+    // touches must swing the on-disk MRU order back to firewall.
+    ask("firewall");
+    ask("firewall");
+    core.flush_touches();
+    assert!(
+        stamp(hot_key) > stamp(cold_key),
+        "cache hits must bump on-disk last-used stamps"
+    );
+    // An LRU sweep with room for one exploration record now agrees with
+    // the server about which contract is hot.
+    let hot_bytes = {
+        let h = core.store().peek(hot_key, RecordKind::Exploration).unwrap();
+        h.header_len + h.payload_len
+    };
+    let report = core.store().sweep(hot_bytes).unwrap();
+    assert!(report.evicted >= 1);
+    assert!(
+        core.store()
+            .peek(hot_key, RecordKind::Exploration)
+            .is_some(),
+        "the server-hot record must survive the sweep"
+    );
+    assert!(
+        core.store()
+            .peek(cold_key, RecordKind::Exploration)
+            .is_none(),
+        "the server-cold record is the LRU victim"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

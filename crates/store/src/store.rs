@@ -9,11 +9,20 @@
 //! Each file is `header ‖ payload`. The header carries a magic number,
 //! the store format version, the record kind and stack-level tag, the
 //! fingerprint (so a renamed file cannot impersonate another key), a
-//! last-used stamp (bumped in place by [`ContractStore::get`], the food
-//! of [`ContractStore::sweep`]'s LRU ordering), the NF name and path
-//! count (for `list` without decoding payloads), and an FNV-1a-64
-//! checksum of the payload. [`ContractStore::get`] re-verifies all of
-//! it; anything that does not check out — wrong magic, skewed version,
+//! last-used stamp (bumped in place by [`ContractStore::get`] and
+//! [`ContractStore::touch`], the food of [`ContractStore::sweep`]'s LRU
+//! ordering), the NF name and path count, and an FNV-1a-64 checksum of
+//! the payload.
+//!
+//! The format splits into two decode passes with different costs:
+//! [`RecordHeader`] (everything before the payload, plus the payload's
+//! length prefix) decodes from a small bounded read — this is what
+//! [`ContractStore::list`], [`ContractStore::header`], and cache
+//! admission decisions use — while the payload itself (the expensive
+//! part: rehydrating a whole term pool) is only read and checksummed by
+//! [`ContractStore::get`], i.e. lazily, when something actually needs
+//! the record's contents. [`ContractStore::get`] re-verifies everything;
+//! anything that does not check out — wrong magic, skewed version,
 //! fingerprint mismatch, bad checksum, truncation — is treated as a
 //! miss, never returned. Writes go through a temp file + rename so a
 //! crashed writer can not leave a half-record under a valid name.
@@ -100,9 +109,14 @@ impl RecordKind {
     }
 }
 
-/// Header metadata of one stored record (everything `list` shows).
+/// Header metadata of one stored record, decodable *without* touching
+/// the payload (no checksum pass, no pool rehydration). This is the
+/// cheap half of the record format: `list`, sweep accounting, and a
+/// serving cache's admission decisions all read only this; the payload
+/// decode — the expensive re-interning of a whole term pool — is
+/// deferred to the first actual use of the record's contents.
 #[derive(Clone, Debug)]
-pub struct StoreEntry {
+pub struct RecordHeader {
     /// The record's addressing key.
     pub fingerprint: Fingerprint,
     /// What the payload encodes.
@@ -113,12 +127,80 @@ pub struct StoreEntry {
     /// the mapping — the store stays NF-framework-agnostic).
     pub level: u8,
     /// Last-used stamp (µs since the Unix epoch): set at `put`, bumped
-    /// in place by every verified `get`. Drives LRU sweep ordering.
+    /// in place by every verified `get` (and batched
+    /// [`ContractStore::touch`] calls). Drives LRU sweep ordering.
     pub last_used: u64,
     /// Number of feasible paths in the payload.
     pub n_paths: u64,
     /// Encoded payload size in bytes.
     pub payload_len: u64,
+    /// FNV-1a-64 checksum the payload must hash to (verified by
+    /// [`ContractStore::get`], not by header-only reads).
+    pub checksum: u64,
+    /// Bytes the header itself occupies; the payload starts here.
+    pub header_len: u64,
+}
+
+/// What `list` returns per record: the header is the metadata.
+pub type StoreEntry = RecordHeader;
+
+/// Upper bound on the encoded header (magic through payload-length
+/// prefix). Generous: the only variable-size field is the NF/chain name.
+const HEADER_PREFIX_MAX: usize = 4096;
+
+/// Decode a record's header from a byte prefix (the payload need not be
+/// present). Validates magic, version, and kind, but *not* the payload
+/// checksum — that is [`ContractStore::get`]'s job.
+fn decode_header(bytes: &[u8]) -> Result<RecordHeader, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    if r.raw(4)? != MAGIC {
+        return Err(DecodeError::Malformed("bad magic"));
+    }
+    if r.u16()? != STORE_FORMAT_VERSION {
+        return Err(DecodeError::Malformed("store format version mismatch"));
+    }
+    let kind = RecordKind::from_tag(r.u8()?)?;
+    let level = r.u8()?;
+    let fingerprint = Fingerprint(r.u128()?);
+    let last_used = r.u64()?;
+    let nf_name = r.str()?.to_owned();
+    let n_paths = r.varint()?;
+    let checksum = r.u64()?;
+    // The payload's length prefix, read without requiring the payload
+    // bytes themselves (this is what makes the header pass cheap).
+    let payload_len = r.varint()?;
+    let header_len = (bytes.len() - r.remaining()) as u64;
+    Ok(RecordHeader {
+        fingerprint,
+        kind,
+        nf_name,
+        level,
+        last_used,
+        n_paths,
+        payload_len,
+        checksum,
+        header_len,
+    })
+}
+
+/// Header-only read of a record file: one bounded `read` of the header
+/// prefix plus a `stat`, never the payload. The file's size must equal
+/// `header_len + payload_len` exactly — a cheap truncation/garbage check
+/// that costs no payload I/O.
+fn read_header(path: &Path) -> Option<RecordHeader> {
+    use std::io::Read;
+    let mut f = fs::File::open(path).ok()?;
+    let mut prefix = Vec::with_capacity(512);
+    std::io::Read::by_ref(&mut f)
+        .take(HEADER_PREFIX_MAX as u64)
+        .read_to_end(&mut prefix)
+        .ok()?;
+    let hdr = decode_header(&prefix).ok()?;
+    let file_len = f.metadata().ok()?.len();
+    if hdr.header_len + hdr.payload_len != file_len {
+        return None;
+    }
+    Some(hdr)
 }
 
 /// What one [`ContractStore::sweep`] did.
@@ -234,6 +316,13 @@ impl ContractStore {
 
     /// Header metadata of every readable record, sorted by NF name then
     /// level then kind. Unreadable files are skipped, not fatal.
+    ///
+    /// This is a pure header pass: one bounded read per file, no payload
+    /// I/O, no checksum, no pool rehydration — enumerating a store of
+    /// gigabytes costs kilobytes of reads. A record whose payload bytes
+    /// are corrupt (but whose header parses and whose file size matches)
+    /// still lists — it occupies disk and participates in sweep budgets;
+    /// payload integrity is [`ContractStore::get`]'s job.
     pub fn list(&self) -> io::Result<Vec<StoreEntry>> {
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
@@ -241,10 +330,7 @@ impl ContractStore {
             if path.extension().and_then(|e| e.to_str()) != Some("bolt") {
                 continue;
             }
-            let Ok(bytes) = fs::read(&path) else {
-                continue;
-            };
-            if let Ok((meta, _)) = verify_record(&bytes, None, None) {
+            if let Some(meta) = read_header(&path) {
                 out.push(meta);
             }
         }
@@ -252,6 +338,37 @@ impl ContractStore {
             (&a.nf_name, a.level, a.kind.tag()).cmp(&(&b.nf_name, b.level, b.kind.tag()))
         });
         Ok(out)
+    }
+
+    /// Header-only metadata of one record: fingerprint, kind, level,
+    /// name, path count, sizes, and last-used stamp — without reading
+    /// (let alone decoding) the payload. `None` when the record is
+    /// missing, format-skewed, size-inconsistent, or keyed differently
+    /// than its file name claims. This is what `list`-style enumeration
+    /// and cache admission decisions should use; only an actual payload
+    /// consumer needs [`ContractStore::get`].
+    pub fn header(&self, fp: Fingerprint, kind: RecordKind) -> Option<RecordHeader> {
+        let hdr = read_header(&self.path_of(fp, kind))?;
+        (hdr.fingerprint == fp && hdr.kind == kind).then_some(hdr)
+    }
+
+    /// Bump a record's last-used stamp in place without reading its
+    /// payload — the batched "this record is hot" signal a long-lived
+    /// server sends so that an on-disk [`ContractStore::sweep`] and the
+    /// server's in-memory cache agree on MRU order. Returns whether a
+    /// valid record was stamped (`false` for missing or format-skewed
+    /// files — never an error for those, since the caller's cache entry
+    /// remains correct either way).
+    pub fn touch(&self, fp: Fingerprint, kind: RecordKind) -> io::Result<bool> {
+        let path = self.path_of(fp, kind);
+        if read_stamp(&path).is_none() {
+            return Ok(false);
+        }
+        match bump_stamp(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 
     /// Remove a record. Returns whether one existed.
@@ -368,44 +485,28 @@ fn verify_record(
     bytes: &[u8],
     expect_fp: Option<Fingerprint>,
     expect_kind: Option<RecordKind>,
-) -> Result<(StoreEntry, &[u8]), DecodeError> {
-    let mut r = ByteReader::new(bytes);
-    if r.raw(4)? != MAGIC {
-        return Err(DecodeError::Malformed("bad magic"));
-    }
-    if r.u16()? != STORE_FORMAT_VERSION {
-        return Err(DecodeError::Malformed("store format version mismatch"));
-    }
-    let kind = RecordKind::from_tag(r.u8()?)?;
-    if expect_kind.is_some_and(|k| k != kind) {
+) -> Result<(RecordHeader, &[u8]), DecodeError> {
+    let hdr = decode_header(bytes)?;
+    if expect_kind.is_some_and(|k| k != hdr.kind) {
         return Err(DecodeError::Malformed("record kind mismatch"));
     }
-    let level = r.u8()?;
-    let fp = Fingerprint(r.u128()?);
-    if expect_fp.is_some_and(|e| e != fp) {
+    if expect_fp.is_some_and(|e| e != hdr.fingerprint) {
         return Err(DecodeError::Malformed("fingerprint mismatch"));
     }
-    let last_used = r.u64()?;
-    let nf_name = r.str()?.to_owned();
-    let n_paths = r.varint()?;
-    let checksum = r.u64()?;
-    let payload = r.bytes()?;
-    r.expect_end()?;
-    if fnv64(payload) != checksum {
+    let start = hdr.header_len as usize;
+    let end = start + hdr.payload_len as usize;
+    if end != bytes.len() {
+        return Err(if end > bytes.len() {
+            DecodeError::Truncated
+        } else {
+            DecodeError::Malformed("trailing bytes")
+        });
+    }
+    let payload = &bytes[start..end];
+    if fnv64(payload) != hdr.checksum {
         return Err(DecodeError::Malformed("payload checksum mismatch"));
     }
-    Ok((
-        StoreEntry {
-            fingerprint: fp,
-            kind,
-            nf_name,
-            level,
-            last_used,
-            n_paths,
-            payload_len: payload.len() as u64,
-        },
-        payload,
-    ))
+    Ok((hdr, payload))
 }
 
 #[cfg(test)]
@@ -470,16 +571,74 @@ mod tests {
             .unwrap();
         let path = store.path_of(fp(1), RecordKind::Exploration);
         let mut bytes = fs::read(&path).unwrap();
-        // Flip one payload byte: checksum must catch it.
+        // Flip one payload byte: checksum must catch it on `get`, but
+        // the record still *lists* — enumeration is a header pass, and
+        // the corrupt file still occupies disk (sweep budget food).
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
         assert!(store.get(fp(1), RecordKind::Exploration).is_none());
-        // Truncated file.
+        assert_eq!(store.list().unwrap().len(), 1);
+        assert!(store.header(fp(1), RecordKind::Exploration).is_some());
+        // Truncated file: the header's size cross-check rejects it
+        // everywhere, payload unread.
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(store.get(fp(1), RecordKind::Exploration).is_none());
+        assert!(store.header(fp(1), RecordKind::Exploration).is_none());
         // list() must skip it rather than fail.
         assert!(store.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn header_reads_skip_the_payload() {
+        let store = temp_store("header");
+        let payload = vec![0xA5u8; 4096];
+        store
+            .put(fp(9), RecordKind::Contract, "bridge", 1, 12, &payload)
+            .unwrap();
+        let hdr = store.header(fp(9), RecordKind::Contract).expect("header");
+        assert_eq!(hdr.fingerprint, fp(9));
+        assert_eq!(hdr.kind, RecordKind::Contract);
+        assert_eq!(hdr.nf_name, "bridge");
+        assert_eq!(hdr.level, 1);
+        assert_eq!(hdr.n_paths, 12);
+        assert_eq!(hdr.payload_len, payload.len() as u64);
+        assert_eq!(hdr.checksum, fnv64(&payload));
+        let file_len = fs::metadata(store.path_of(fp(9), RecordKind::Contract))
+            .unwrap()
+            .len();
+        assert_eq!(hdr.header_len + hdr.payload_len, file_len);
+        // A header read must not count as (or affect) hit/miss traffic,
+        // and must not bump the stamp.
+        assert_eq!((store.hits(), store.misses()), (0, 0));
+        assert_eq!(
+            store.header(fp(9), RecordKind::Contract).unwrap().last_used,
+            hdr.last_used
+        );
+        // Wrong kind/fingerprint: None.
+        assert!(store.header(fp(9), RecordKind::Exploration).is_none());
+        assert!(store.header(fp(8), RecordKind::Contract).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn touch_bumps_the_stamp_like_a_get() {
+        let store = temp_store("touch");
+        store
+            .put(fp(1), RecordKind::Exploration, "fw", 0, 1, b"abc")
+            .unwrap();
+        let before = store.header(fp(1), RecordKind::Exploration).unwrap();
+        assert!(store.touch(fp(1), RecordKind::Exploration).unwrap());
+        let after = store.header(fp(1), RecordKind::Exploration).unwrap();
+        assert!(after.last_used > before.last_used);
+        // Touching a missing or skewed record is a clean false.
+        assert!(!store.touch(fp(2), RecordKind::Exploration).unwrap());
+        let path = store.path_of(fp(1), RecordKind::Exploration);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1); // version skew
+        fs::write(&path, &bytes).unwrap();
+        assert!(!store.touch(fp(1), RecordKind::Exploration).unwrap());
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -16,6 +16,18 @@
 //!
 //! The store directory comes from `--store DIR`, else `BOLT_STORE_DIR`,
 //! else `.bolt-store`.
+//!
+//! Long-lived serving: `serve` keeps the store open and contracts hot in
+//! memory behind a framed socket protocol; `--remote ENDPOINT` routes
+//! `query`/`diff`/`list`/`provenance`/`stats`/`shutdown` to such a
+//! server instead of opening the store in-process — with byte-identical
+//! output, since both paths render through `bolt_serve::ServeCore`:
+//!
+//! ```text
+//! cargo run --release --example bolt_cli -- serve --socket /tmp/bolt.sock &
+//! cargo run --release --example bolt_cli -- query --nf bridge --remote /tmp/bolt.sock
+//! cargo run --release --example bolt_cli -- shutdown --remote /tmp/bolt.sock
+//! ```
 
 use std::collections::BTreeSet;
 use std::process::exit;
@@ -26,6 +38,9 @@ use bolt::expr::PcvAssignment;
 use bolt::nfs::nat::{AllocKind, NatConfig};
 use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
 use bolt::see::StackLevel;
+use bolt::serve::{
+    CacheConfig, Client, DiffRequest, Endpoint, QueryRequest, ServeCore, Server, ServerConfig,
+};
 use bolt::trace::Metric;
 use bolt::{ContractStore, NetworkFunction};
 
@@ -95,15 +110,20 @@ fn usage() -> ! {
          \n\
          commands:\n\
          \x20 explore  --nf NAME | --all   [--level nf-only|full-stack|both] [--store DIR]\n\
-         \x20 list     [--store DIR]\n\
-         \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR]\n\
+         \x20 list     [--store DIR | --remote EP]\n\
+         \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR | --remote EP]\n\
          \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N] [--store DIR]\n\
-         \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR]\n\
+         \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR | --remote EP]\n\
          \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
+         \x20 serve    [--socket PATH] [--tcp ADDR] [--cache-budget BYTES] [--store DIR]\n\
+         \x20 provenance --nf NAME [--level L] [--store DIR | --remote EP]\n\
+         \x20 stats    --remote EP\n\
+         \x20 shutdown --remote EP\n\
          \n\
          NAME   ∈ {{{}}}\n\
          LEVEL  ∈ {{nf-only, full-stack}} (default: full-stack)\n\
          M      ∈ {{instructions, mem-accesses, cycles}} (default: instructions)\n\
+         EP     a unix socket path, or tcp:HOST:PORT\n\
          store  --store DIR, else $BOLT_STORE_DIR, else .bolt-store",
         NF_NAMES.join(", ")
     );
@@ -153,6 +173,10 @@ struct Opts {
     b: Option<String>,
     budget: Option<u64>,
     threads: Option<usize>,
+    remote: Option<String>,
+    socket: Option<String>,
+    tcp: Option<String>,
+    cache_budget: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -187,6 +211,16 @@ fn parse_opts(args: &[String]) -> Opts {
                     v.parse::<u64>()
                         .unwrap_or_else(|_| die(&format!("bad --budget {v:?} (want bytes)"))),
                 );
+            }
+            "--remote" => o.remote = Some(val("--remote")),
+            "--socket" => o.socket = Some(val("--socket")),
+            "--tcp" => o.tcp = Some(val("--tcp")),
+            "--cache-budget" => {
+                let v = val("--cache-budget");
+                o.cache_budget =
+                    Some(v.parse::<u64>().unwrap_or_else(|_| {
+                        die(&format!("bad --cache-budget {v:?} (want bytes)"))
+                    }));
             }
             "--pcv" => {
                 let kv = val("--pcv");
@@ -265,7 +299,20 @@ fn cmd_explore(o: &Opts) {
     }
 }
 
+/// Connect to a serving endpoint named by `--remote`.
+fn remote_client(ep: &str) -> Client {
+    Client::connect(&Endpoint::parse(ep))
+        .unwrap_or_else(|e| die(&format!("cannot connect to {ep}: {e}")))
+}
+
 fn cmd_list(o: &Opts) {
+    if let Some(ep) = &o.remote {
+        match remote_client(ep).list() {
+            Ok((_, text)) => print!("{text}"),
+            Err(e) => die(&e.to_string()),
+        }
+        return;
+    }
     let store = open_store(o);
     let entries = store
         .list()
@@ -340,9 +387,24 @@ fn query_one<N: NetworkFunction + Sync>(store: &ContractStore, nf: N, o: &Opts, 
 }
 
 fn cmd_query(o: &Opts) {
-    let store = open_store(o);
     let name = o.nf.as_deref().unwrap_or_else(|| die("query needs --nf"));
     let level = levels_of(o)[0];
+    if let Some(ep) = &o.remote {
+        let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
+        let req = QueryRequest {
+            nf: name.to_string(),
+            level: level_tag(level),
+            metric: metric.index() as u8,
+            tag: o.tag.clone(),
+            pcvs: o.pcvs.clone(),
+        };
+        match remote_client(ep).query(req) {
+            Ok(reply) => print!("{}", reply.text),
+            Err(e) => die(&e.to_string()),
+        }
+        return;
+    }
+    let store = open_store(o);
     with_nf!(name, nf => { query_one(&store, nf, o, level); });
 }
 
@@ -371,12 +433,24 @@ fn side_contract(store: &ContractStore, side: &str) -> NfContract {
 }
 
 fn cmd_diff(o: &Opts) {
-    let store = open_store(o);
     let (sa, sb) = match (&o.a, &o.b) {
         (Some(a), Some(b)) => (a.as_str(), b.as_str()),
         _ => die("diff needs --a NF[:LEVEL] and --b NF[:LEVEL]"),
     };
     let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
+    if let Some(ep) = &o.remote {
+        let req = DiffRequest {
+            a: sa.to_string(),
+            b: sb.to_string(),
+            metric: metric.index() as u8,
+        };
+        match remote_client(ep).diff(req) {
+            Ok(text) => print!("{text}"),
+            Err(e) => die(&e.to_string()),
+        }
+        return;
+    }
+    let store = open_store(o);
     let ca = side_contract(&store, sa);
     let cb = side_contract(&store, sb);
     let env = PcvAssignment::new();
@@ -533,6 +607,101 @@ fn cmd_evict(o: &Opts) {
     }
 }
 
+/// Run the long-lived contract server until a client asks it to shut
+/// down. Defaults to a Unix socket named `bolt.sock` inside the store
+/// directory when no endpoint is given.
+fn cmd_serve(o: &Opts) {
+    let store = open_store(o);
+    let core = match o.cache_budget {
+        Some(budget) => ServeCore::with_config(
+            store,
+            CacheConfig {
+                budget,
+                ..CacheConfig::default()
+            },
+        ),
+        None => ServeCore::new(store),
+    };
+    let default_sock = core.store().dir().join("bolt.sock");
+    let store_dir = core.store().dir().to_path_buf();
+    let unix = match (&o.socket, &o.tcp) {
+        (Some(p), _) => Some(std::path::PathBuf::from(p)),
+        (None, None) => Some(default_sock),
+        (None, Some(_)) => None,
+    };
+    let server = Server::start(
+        core,
+        ServerConfig {
+            unix,
+            tcp: o.tcp.clone(),
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    println!("serving store at {store_dir:?}");
+    if let Some(p) = server.unix_path() {
+        println!("  unix socket : {}", p.display());
+    }
+    if let Some(a) = server.tcp_addr() {
+        println!("  tcp         : tcp:{a}");
+    }
+    println!("stop with: bolt_cli shutdown --remote <endpoint>");
+    let core = server.join();
+    let stats = core.stats_reply();
+    let read = |n: &str| stats.get(n).unwrap_or(0);
+    println!(
+        "server stopped: {} request(s), {} memo hit(s), {} exploration(s), {} eviction(s)",
+        read("requests"),
+        read("memo_hits"),
+        read("explorations"),
+        read("evictions"),
+    );
+}
+
+fn cmd_provenance(o: &Opts) {
+    let name =
+        o.nf.as_deref()
+            .unwrap_or_else(|| die("provenance needs --nf"));
+    let level = level_tag(levels_of(o)[0]);
+    if let Some(ep) = &o.remote {
+        match remote_client(ep).provenance(name, level) {
+            Ok(text) => print!("{text}"),
+            Err(e) => die(&e.to_string()),
+        }
+        return;
+    }
+    let core = ServeCore::new(open_store(o));
+    match core.provenance(name, level) {
+        Ok(text) => print!("{text}"),
+        Err(e) => die(&e),
+    }
+}
+
+fn cmd_stats(o: &Opts) {
+    let ep = o
+        .remote
+        .as_deref()
+        .unwrap_or_else(|| die("stats needs --remote ENDPOINT (counters live in the server)"));
+    match remote_client(ep).stats() {
+        Ok(stats) => {
+            for (name, value) in &stats.counters {
+                println!("{name:>16} : {value}");
+            }
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn cmd_shutdown(o: &Opts) {
+    let ep = o
+        .remote
+        .as_deref()
+        .unwrap_or_else(|| die("shutdown needs --remote ENDPOINT"));
+    match remote_client(ep).shutdown() {
+        Ok(()) => println!("server at {ep} is shutting down"),
+        Err(e) => die(&e.to_string()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -546,6 +715,10 @@ fn main() {
         "chain" => cmd_chain(&o),
         "diff" => cmd_diff(&o),
         "evict" => cmd_evict(&o),
+        "serve" => cmd_serve(&o),
+        "provenance" => cmd_provenance(&o),
+        "stats" => cmd_stats(&o),
+        "shutdown" => cmd_shutdown(&o),
         _ => usage(),
     }
 }

@@ -54,6 +54,7 @@ pub use bolt_distiller as distiller;
 pub use bolt_expr as expr;
 pub use bolt_hw as hw;
 pub use bolt_nfs as nfs;
+pub use bolt_serve as serve;
 pub use bolt_solver as solver;
 pub use bolt_store as store;
 pub use bolt_trace as trace;
