@@ -108,6 +108,7 @@ fn main() {
             #[cfg(not(unix))]
             unix: None,
             tcp: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

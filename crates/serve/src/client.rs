@@ -1,26 +1,32 @@
 //! A blocking client for the serve protocol.
 //!
-//! One [`Client`] is one connection; calls are strictly
-//! request/response, so a client is cheap to use from many threads by
-//! giving each thread its own connection (the server runs one thread
-//! per connection anyway).
+//! One [`Client`] owns one (lazily dialled) connection; calls are
+//! strictly request/response, so a client is cheap to use from many
+//! threads by giving each thread its own client (the server runs one
+//! thread per connection anyway).
+//!
+//! The client is resilient by default: transport failures on
+//! *idempotent* requests (ping, query, list, provenance, stats) tear
+//! down the connection, back off with jitter, reconnect, and retry up
+//! to [`ClientConfig::retries`] times. Non-idempotent requests (diff
+//! today renders from immutable records but is grouped conservatively;
+//! shutdown must never fire twice) surface the first failure. Error
+//! *frames* — the server answered, but with a diagnostic — are never
+//! retried: the server is healthy and would say the same thing again.
 
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use bolt_fault::XorShift64;
+
 use crate::protocol::{
     read_frame, write_frame, DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply,
 };
-
-/// How long a client waits for a reply before giving up. Warm answers
-/// are microseconds; a cold one can run a fresh exploration, so the
-/// bound is generous.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Where a server lives: `tcp:HOST:PORT`, or a Unix socket path.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -31,13 +37,50 @@ pub enum Endpoint {
     Tcp(String),
 }
 
+/// An endpoint spec that could not be understood.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseEndpointError {
+    spec: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseEndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad endpoint {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for ParseEndpointError {}
+
 impl Endpoint {
-    /// Parse an endpoint spec: a `tcp:` prefix selects TCP, anything
-    /// else is a Unix socket path.
-    pub fn parse(s: &str) -> Endpoint {
-        match s.strip_prefix("tcp:") {
-            Some(addr) => Endpoint::Tcp(addr.to_string()),
-            None => Endpoint::Unix(PathBuf::from(s)),
+    /// Parse an endpoint spec: a `tcp:` prefix selects TCP (and the
+    /// rest must be `host:port` with a numeric port), anything else is
+    /// a Unix socket path. Empty and structurally hopeless specs are
+    /// rejected here rather than at connect time, where "No such file
+    /// or directory" for a mistyped `tcp:` flag would mislead.
+    pub fn parse(s: &str) -> Result<Endpoint, ParseEndpointError> {
+        let err = |reason| ParseEndpointError {
+            spec: s.to_string(),
+            reason,
+        };
+        let spec = s.trim();
+        if spec.is_empty() {
+            return Err(err("empty endpoint"));
+        }
+        match spec.strip_prefix("tcp:") {
+            Some(addr) => {
+                let (host, port) = addr
+                    .rsplit_once(':')
+                    .ok_or_else(|| err("tcp endpoint needs HOST:PORT"))?;
+                if host.is_empty() {
+                    return Err(err("tcp endpoint has an empty host"));
+                }
+                if port.parse::<u16>().is_err() {
+                    return Err(err("tcp endpoint needs a numeric port (0-65535)"));
+                }
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            None => Ok(Endpoint::Unix(PathBuf::from(spec))),
         }
     }
 }
@@ -81,29 +124,100 @@ impl From<io::Error> for ServeError {
     }
 }
 
+/// Tunables for one client connection.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-call reply deadline. Warm answers are microseconds; a cold
+    /// one can run a fresh exploration, so the default is generous.
+    pub deadline: Duration,
+    /// How long to wait for a TCP connect (Unix connects are local and
+    /// effectively instant).
+    pub connect_timeout: Duration,
+    /// How many times to re-dial and retry an idempotent request after
+    /// a transport failure. Zero disables retry entirely.
+    pub retries: u32,
+    /// Base reconnect backoff; doubles per attempt.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline: Duration::from_secs(120),
+            connect_timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
 trait Transport: Read + Write + Send {}
 impl Transport for TcpStream {}
 #[cfg(unix)]
 impl Transport for UnixStream {}
 
-/// One connection to a serve endpoint.
+/// One connection to a serve endpoint, redialled on demand.
 pub struct Client {
-    stream: Box<dyn Transport>,
+    endpoint: Endpoint,
+    config: ClientConfig,
+    stream: Option<Box<dyn Transport>>,
+    jitter: XorShift64,
 }
 
 impl Client {
-    /// Connect to an endpoint.
+    /// Connect to an endpoint with default [`ClientConfig`]. The dial
+    /// happens eagerly so a dead server is reported here, not on the
+    /// first call.
     pub fn connect(endpoint: &Endpoint) -> Result<Client, ServeError> {
-        let stream: Box<dyn Transport> = match endpoint {
+        Client::connect_with(endpoint, ClientConfig::default())
+    }
+
+    /// Connect with explicit tunables.
+    pub fn connect_with(endpoint: &Endpoint, config: ClientConfig) -> Result<Client, ServeError> {
+        let mut client = Client {
+            endpoint: endpoint.clone(),
+            config,
+            stream: None,
+            jitter: XorShift64::new(std::process::id() as u64 ^ 0x5EED_1E55),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ServeError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let deadline = Some(self.config.deadline);
+        let stream: Box<dyn Transport> = match &self.endpoint {
             Endpoint::Tcp(addr) => {
-                let s = TcpStream::connect(addr)?;
-                s.set_read_timeout(Some(REPLY_TIMEOUT))?;
+                let mut last = io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{addr}: no addresses resolved"),
+                );
+                let mut dialled = None;
+                for sock in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock, self.config.connect_timeout) {
+                        Ok(s) => {
+                            dialled = Some(s);
+                            break;
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                let s = dialled.ok_or(last)?;
+                s.set_read_timeout(deadline)?;
+                s.set_write_timeout(deadline)?;
                 Box::new(s)
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => {
                 let s = UnixStream::connect(path)?;
-                s.set_read_timeout(Some(REPLY_TIMEOUT))?;
+                s.set_read_timeout(deadline)?;
+                s.set_write_timeout(deadline)?;
                 Box::new(s)
             }
             #[cfg(not(unix))]
@@ -114,21 +228,67 @@ impl Client {
                 )))
             }
         };
-        Ok(Client { stream })
+        self.stream = Some(stream);
+        Ok(())
     }
 
-    /// One request/response round trip. Error frames become
-    /// [`ServeError::Remote`].
+    /// One request/response round trip, with reconnect-and-retry for
+    /// idempotent requests. Error frames become [`ServeError::Remote`]
+    /// and are never retried.
     pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| ServeError::Protocol("server closed before replying".into()))?;
-        let resp = Response::decode(&payload)
-            .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?;
-        if let Response::Error { message } = resp {
-            return Err(ServeError::Remote(message));
+        let mut attempt = 0u32;
+        loop {
+            match self.try_call(req) {
+                Err(ServeError::Io(e)) if req.is_idempotent() && attempt < self.config.retries => {
+                    attempt += 1;
+                    std::thread::sleep(self.backoff_for(attempt, &e));
+                }
+                other => return other,
+            }
         }
-        Ok(resp)
+    }
+
+    /// Exponential backoff with jitter: `base * 2^(attempt-1)` capped,
+    /// plus up to half that again so a herd of clients doesn't re-dial
+    /// in lockstep.
+    fn backoff_for(&mut self, attempt: u32, _cause: &io::Error) -> Duration {
+        let base = self.config.backoff.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(16));
+        let delay = exp.min(self.config.backoff_cap);
+        let jitter_ns = (delay.as_nanos() as u64 / 2).max(1);
+        delay + Duration::from_nanos(self.jitter.next_u64() % jitter_ns)
+    }
+
+    /// A single attempt: dial if needed, write, read, decode. Any
+    /// transport or framing failure poisons the connection so the next
+    /// attempt starts from a fresh dial.
+    fn try_call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected above");
+        let result = (|| {
+            write_frame(stream, &req.encode())?;
+            let payload = read_frame(stream)?.ok_or_else(|| {
+                // EOF before the reply is a transport-level death (the
+                // server crashed or reaped us), not a protocol bug —
+                // classify it as Io so the retry loop can heal it.
+                ServeError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before the reply",
+                ))
+            })?;
+            let resp = Response::decode(&payload)
+                .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?;
+            Ok(resp)
+        })();
+        match result {
+            Err(e @ (ServeError::Io(_) | ServeError::Protocol(_))) => {
+                // The connection's framing state is unknown; drop it.
+                self.stream = None;
+                Err(e)
+            }
+            Ok(Response::Error { message }) => Err(ServeError::Remote(message)),
+            other => other,
+        }
     }
 
     /// Liveness check; returns the server's version string.
@@ -185,6 +345,8 @@ impl Client {
     }
 
     /// Ask the server to shut down gracefully (drain, flush, exit).
+    /// Never retried: a second shutdown against a restarted server
+    /// would kill the wrong instance.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),

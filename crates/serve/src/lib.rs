@@ -33,7 +33,7 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheConfig, ContractCache};
-pub use client::{Client, Endpoint, ServeError};
+pub use client::{Client, ClientConfig, Endpoint, ParseEndpointError, ServeError};
 pub use protocol::{
     DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply, MAX_FRAME,
     PROTOCOL_VERSION,

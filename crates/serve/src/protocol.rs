@@ -140,6 +140,22 @@ impl Request {
         }
     }
 
+    /// Whether re-sending this request after a transport failure is
+    /// safe. Reads are; [`Request::Shutdown`] is not (a retry after a
+    /// restart would kill the new instance), and [`Request::Diff`] is
+    /// grouped with it conservatively even though today's diff renders
+    /// from immutable records.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Query(_)
+                | Request::List
+                | Request::Provenance { .. }
+                | Request::Stats
+        )
+    }
+
     /// Encode to one frame payload (version byte, opcode, body).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();

@@ -24,10 +24,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use bolt_fault::{site, FaultPlan};
 
 use crate::protocol::{write_frame, FrameBuffer, Request, Response};
 use crate::service::ServeCore;
@@ -36,14 +38,52 @@ use crate::service::ServeCore;
 /// flag, and how long an idle accept loop sleeps between polls.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Where to listen. At least one endpoint must be set.
+/// Where to listen, and how hard the server defends itself. At least
+/// one endpoint must be set; every limit defaults to off.
 #[derive(Default, Clone, Debug)]
 pub struct ServerConfig {
-    /// Unix-domain socket path (removed on startup if stale, and again
-    /// on shutdown).
+    /// Unix-domain socket path (a stale leftover from a crashed server
+    /// is unlinked after a probe connect proves nobody answers it; a
+    /// *live* server's socket makes the bind fail with `AddrInUse`).
     pub unix: Option<PathBuf>,
     /// TCP listen address (e.g. `127.0.0.1:0` for an ephemeral port).
     pub tcp: Option<String>,
+    /// Cap on concurrently served connections; `0` means unlimited.
+    /// Connections past the cap get a `server busy` error frame and are
+    /// closed immediately (counted in `busy_rejects`).
+    pub max_connections: usize,
+    /// Close a connection that sends nothing for this long (counted in
+    /// `idle_closed`). `None` means connections may idle forever.
+    pub idle_timeout: Option<Duration>,
+    /// Bound on one request's handling time. Exploration cannot be
+    /// aborted mid-flight, so a blown deadline still runs to completion
+    /// — but the client gets a `deadline exceeded` error frame instead
+    /// of an arbitrarily stale answer (counted in `deadlines_exceeded`).
+    pub request_deadline: Option<Duration>,
+    /// Deterministic fault injection for this server's transports.
+    /// `None` falls back to the ambient [`bolt_fault::ambient`] plan
+    /// (i.e. the `BOLT_FAULT_*` environment), which is itself `None`
+    /// outside torture runs.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+/// Per-connection enforcement state shared by the accept loops.
+#[derive(Clone)]
+struct Limits {
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
+    request_deadline: Option<Duration>,
+    fault: Option<Arc<FaultPlan>>,
+    active: Arc<AtomicUsize>,
+}
+
+/// Decrements the active-connection gauge however the connection ends.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server: listener threads, connection threads, shutdown
@@ -70,6 +110,16 @@ impl Server {
         let core = Arc::new(core);
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let limits = Limits {
+            max_connections: config.max_connections,
+            idle_timeout: config.idle_timeout,
+            request_deadline: config.request_deadline,
+            fault: config
+                .fault
+                .clone()
+                .or_else(|| bolt_fault::ambient().cloned()),
+            active: Arc::new(AtomicUsize::new(0)),
+        };
         let mut accept_handles = Vec::new();
         let mut tcp_addr = None;
         if let Some(addr) = &config.tcp {
@@ -80,6 +130,7 @@ impl Server {
                 Arc::clone(&core),
                 Arc::clone(&shutdown),
                 Arc::clone(&conns),
+                limits.clone(),
                 move |l: &TcpListener| l.accept().map(|(s, _)| s),
                 listener,
             ));
@@ -87,9 +138,7 @@ impl Server {
         let mut unix_path = None;
         #[cfg(unix)]
         if let Some(path) = &config.unix {
-            // A previous server that died uncleanly leaves its socket
-            // file behind; binding over it needs the unlink first.
-            let _ = std::fs::remove_file(path);
+            reclaim_unix_socket(path)?;
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             unix_path = Some(path.clone());
@@ -97,6 +146,7 @@ impl Server {
                 Arc::clone(&core),
                 Arc::clone(&shutdown),
                 Arc::clone(&conns),
+                limits.clone(),
                 move |l: &UnixListener| l.accept().map(|(s, _)| s),
                 listener,
             ));
@@ -171,6 +221,41 @@ impl Server {
     }
 }
 
+/// Make a Unix socket path bindable without stealing it from a live
+/// server. The old code blindly unlinked the path, which would silently
+/// hijack a running server's endpoint; instead:
+///
+/// * nothing at the path → fine, bind;
+/// * a non-socket at the path → refuse (it is not ours to delete);
+/// * a socket someone answers → `AddrInUse`;
+/// * a socket nobody answers (a crashed server's leftover) → unlink.
+#[cfg(unix)]
+fn reclaim_unix_socket(path: &Path) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = match std::fs::symlink_metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if !meta.file_type().is_socket() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!(
+                "{} exists and is not a socket; refusing to remove it",
+                path.display()
+            ),
+        ));
+    }
+    match UnixStream::connect(path) {
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("{} is in use by a live server", path.display()),
+        )),
+        // Nobody home: a stale socket from an unclean death. Reclaim it.
+        Err(_) => std::fs::remove_file(path),
+    }
+}
+
 /// Anything a connection runs over: both socket families read, write,
 /// and support a read timeout (the shutdown-poll mechanism).
 trait Conn: Read + Write + Send {
@@ -198,6 +283,7 @@ fn spawn_acceptor<L, S>(
     core: Arc<ServeCore>,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    limits: Limits,
     accept: impl Fn(&L) -> io::Result<S> + Send + 'static,
     listener: L,
 ) -> JoinHandle<()>
@@ -207,11 +293,42 @@ where
 {
     std::thread::spawn(move || loop {
         match accept(&listener) {
-            Ok(stream) => {
+            Ok(mut stream) => {
                 core.note_connection();
+                // Claim a slot before spawning, so the cap holds even
+                // while a burst of accepts races the handler threads.
+                let taken = limits.active.fetch_add(1, Ordering::SeqCst);
+                let guard = ActiveGuard(Arc::clone(&limits.active));
+                if limits.max_connections > 0 && taken >= limits.max_connections {
+                    core.note_busy_reject();
+                    let reply = Response::Error {
+                        message: format!(
+                            "server busy: {} connection(s) already active; retry later",
+                            limits.max_connections
+                        ),
+                    };
+                    let _ = write_frame(&mut stream, &reply.encode());
+                    drop(guard); // releases the slot; stream drops too
+                    continue;
+                }
                 let core = Arc::clone(&core);
                 let shutdown = Arc::clone(&shutdown);
-                let handle = std::thread::spawn(move || serve_conn(&core, &shutdown, stream));
+                let limits = limits.clone();
+                let handle = std::thread::spawn(move || {
+                    let _guard = guard;
+                    match limits.fault.clone() {
+                        Some(plan) => serve_conn(
+                            &core,
+                            &shutdown,
+                            FaultStream {
+                                inner: stream,
+                                plan,
+                            },
+                            &limits,
+                        ),
+                        None => serve_conn(&core, &shutdown, stream, &limits),
+                    }
+                });
                 let mut guard = conns.lock().expect("conns poisoned");
                 guard.push(handle);
                 let mut i = 0;
@@ -239,23 +356,79 @@ where
     })
 }
 
-/// Serve one connection until EOF, a frame-sync violation, or an idle
-/// stream under shutdown. Complete frames already received are always
-/// answered, shutdown or not — the drain guarantee.
-fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S) {
+/// A transport wrapper that injects deterministic faults from a
+/// [`FaultPlan`] into the server's half of the connection: read errors,
+/// spurious EOFs (mid-frame disconnects), stalls, torn writes. The
+/// server code underneath is exercised exactly as a flaky network would
+/// exercise it, but reproducibly.
+struct FaultStream<S> {
+    inner: S,
+    plan: Arc<FaultPlan>,
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.plan.fires(site::SERVE_READ_STALL) {
+            std::thread::sleep(self.plan.stall());
+        }
+        if self.plan.fires(site::SERVE_READ_DISCONNECT) {
+            return Ok(0); // spurious EOF: the peer "vanished"
+        }
+        if let Some(e) = self.plan.io_fault(site::SERVE_READ_ERR, "read") {
+            return Err(e);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.plan.fires(site::SERVE_WRITE_PARTIAL) {
+            // Tear the write: half the bytes reach the wire, then the
+            // "connection" dies. The client sees a truncated frame.
+            let _ = self.inner.write(&buf[..buf.len() / 2]);
+            let _ = self.inner.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected fault at serve.write.partial: torn write",
+            ));
+        }
+        if let Some(e) = self.plan.io_fault(site::SERVE_WRITE_ERR, "write") {
+            return Err(e);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Conn> Conn for FaultStream<S> {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+}
+
+/// Serve one connection until EOF, a frame-sync violation, the idle
+/// timeout, or an idle stream under shutdown. Complete frames already
+/// received are always answered, shutdown or not — the drain guarantee.
+fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S, limits: &Limits) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
     let mut fb = FrameBuffer::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut idle_since = Instant::now();
     loop {
         // Answer everything already buffered before reading more.
         loop {
             match fb.next_frame() {
                 Ok(Some(payload)) => {
-                    if !handle_frame(core, shutdown, &mut stream, &payload) {
+                    if !handle_frame(core, shutdown, &mut stream, limits, &payload) {
                         return;
                     }
+                    idle_since = Instant::now();
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -270,7 +443,10 @@ fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S) {
         }
         match stream.read(&mut buf) {
             Ok(0) => return,
-            Ok(n) => fb.extend(&buf[..n]),
+            Ok(n) => {
+                fb.extend(&buf[..n]);
+                idle_since = Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -281,6 +457,12 @@ fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S) {
                 // nothing left to drain.
                 if shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(max_idle) = limits.idle_timeout {
+                    if idle_since.elapsed() >= max_idle {
+                        core.note_idle_close();
+                        return;
+                    }
                 }
             }
             Err(_) => return,
@@ -295,6 +477,7 @@ fn handle_frame<S: Conn>(
     core: &ServeCore,
     shutdown: &AtomicBool,
     stream: &mut S,
+    limits: &Limits,
     payload: &[u8],
 ) -> bool {
     let req = match Request::decode(payload) {
@@ -309,7 +492,29 @@ fn handle_frame<S: Conn>(
         }
     };
     let is_shutdown = matches!(req, Request::Shutdown);
-    let reply = core.handle(&req);
+    let started = Instant::now();
+    // Injected slowness counts against the deadline like real slowness.
+    if let Some(plan) = &limits.fault {
+        if plan.fires(site::SERVE_HANDLE_STALL) {
+            std::thread::sleep(plan.stall());
+        }
+    }
+    let mut reply = core.handle(&req);
+    if let Some(deadline) = limits.request_deadline {
+        let elapsed = started.elapsed();
+        // Exploration cannot be aborted mid-flight, so the work ran to
+        // completion either way (and is persisted for next time) — but
+        // an answer slower than the deadline is not the answer the
+        // client contracted for. Shutdown acks are exempt.
+        if elapsed > deadline && !is_shutdown {
+            core.note_deadline_exceeded();
+            reply = Response::Error {
+                message: format!(
+                    "deadline exceeded: request took {elapsed:?} (limit {deadline:?})"
+                ),
+            };
+        }
+    }
     let sent = write_frame(stream, &reply.encode()).is_ok();
     if is_shutdown {
         // Flag after replying, so the requester gets its ack.

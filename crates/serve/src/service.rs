@@ -155,6 +155,9 @@ struct Counters {
     solver_queries: AtomicU64,
     evictions: AtomicU64,
     touches_flushed: AtomicU64,
+    busy_rejects: AtomicU64,
+    idle_closed: AtomicU64,
+    deadlines_exceeded: AtomicU64,
 }
 
 impl Counters {
@@ -179,6 +182,11 @@ impl Counters {
             ("solver_queries", read(&self.solver_queries)),
             ("evictions", read(&self.evictions)),
             ("touches_flushed", read(&self.touches_flushed)),
+            // Overload/robustness counters ride at the end so existing
+            // consumers that index by position keep working.
+            ("busy_rejects", read(&self.busy_rejects)),
+            ("idle_closed", read(&self.idle_closed)),
+            ("deadlines_exceeded", read(&self.deadlines_exceeded)),
         ]
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
@@ -231,6 +239,24 @@ impl ServeCore {
     /// socket server).
     pub fn note_protocol_error(&self) {
         self.counters.bump(&self.counters.protocol_errors);
+    }
+
+    /// Record a connection turned away at the connection cap (called by
+    /// the socket server).
+    pub fn note_busy_reject(&self) {
+        self.counters.bump(&self.counters.busy_rejects);
+    }
+
+    /// Record a connection reaped by the idle timeout (called by the
+    /// socket server).
+    pub fn note_idle_close(&self) {
+        self.counters.bump(&self.counters.idle_closed);
+    }
+
+    /// Record a request whose handling blew the configured deadline
+    /// (called by the socket server).
+    pub fn note_deadline_exceeded(&self) {
+        self.counters.bump(&self.counters.deadlines_exceeded);
     }
 
     /// Write every pending cache-hit touch to the store's last-used

@@ -103,6 +103,7 @@ fn start_server(store: ContractStore, dir: &std::path::Path) -> Server {
         ServerConfig {
             unix: Some(dir.join("bolt.sock")),
             tcp: Some("127.0.0.1:0".to_string()),
+            ..ServerConfig::default()
         },
     )
     .unwrap()

@@ -31,7 +31,10 @@ use std::fs;
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+use bolt_fault::{site, FaultPlan};
 
 use crate::fingerprint::{fnv64, Fingerprint, STORE_FORMAT_VERSION};
 use crate::wire::{ByteReader, ByteWriter, DecodeError};
@@ -223,18 +226,60 @@ pub struct ContractStore {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: u64,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl ContractStore {
-    /// Open (creating if needed) a store rooted at `dir`.
+    /// Open (creating if needed) a store rooted at `dir`. Picks up the
+    /// ambient fault plan, if any (see [`bolt_fault::ambient`]); tests
+    /// that want an explicit plan use [`ContractStore::with_faults`].
+    ///
+    /// Opening also heals crash debris: any `.tmp.` scratch file a dead
+    /// writer left behind (a process killed between write and rename)
+    /// is quarantined — removed, counted in
+    /// [`ContractStore::quarantined`] — so a crashed predecessor can
+    /// neither leak disk forever nor be mistaken for a record. Torn
+    /// *records* need no scan here: every read path re-verifies sizes
+    /// and checksums and treats damage as a miss, which the next `put`
+    /// overwrites.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_faults(dir, bolt_fault::ambient().cloned())
+    }
+
+    /// [`ContractStore::open`] under an explicit fault plan (`None`
+    /// disables injection regardless of the environment).
+    pub fn with_faults(dir: impl Into<PathBuf>, fault: Option<Arc<FaultPlan>>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let mut quarantined = 0;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            // Writers name scratch files `.<fp>.<kind>.tmp.<pid>.<n>`;
+            // anything matching that shape is a dead writer's leavings
+            // (live writers hold theirs for microseconds between write
+            // and rename — and a concurrently vanished file is fine).
+            if name.starts_with('.') && name.contains(".tmp.") && path.is_file() {
+                match fs::remove_file(&path) {
+                    Ok(()) => quarantined += 1,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         Ok(ContractStore {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined,
+            fault,
         })
+    }
+
+    /// Orphaned temp files removed by [`ContractStore::open`].
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
     }
 
     /// The store's root directory.
@@ -264,6 +309,16 @@ impl ContractStore {
     /// ages the record's sweep priority, never the payload.
     pub fn get(&self, fp: Fingerprint, kind: RecordKind) -> Option<Vec<u8>> {
         let path = self.path_of(fp, kind);
+        // Injected read failure: the same shape as a vanished or
+        // unreadable file — a miss the caller re-derives and re-puts.
+        if self
+            .fault
+            .as_deref()
+            .is_some_and(|f| f.fires(site::STORE_READ))
+        {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
         let res = fs::read(&path).ok().and_then(|bytes| {
             verify_record(&bytes, Some(fp), Some(kind))
                 .ok()
@@ -282,8 +337,20 @@ impl ContractStore {
         }
     }
 
-    /// Write a record (atomically: temp file + rename). Overwrites any
-    /// existing record under the same key.
+    /// Write a record (atomically: unique temp file + fsync + rename).
+    /// Overwrites any existing record under the same key.
+    ///
+    /// Crash-consistency contract: the final path only ever holds a
+    /// complete, fsynced record (rename is atomic and the temp file is
+    /// durable first), so a reader can never observe a torn record under
+    /// a valid name no matter where the writer dies. Temp names carry
+    /// the pid *and* a process-global counter, so concurrent writers of
+    /// the same key — two server threads exploring the same NF, say —
+    /// cannot stomp each other's scratch bytes; last rename wins, and
+    /// both renames carry complete records. A failed write cleans its
+    /// temp file up; a *crashed* one (simulated by the
+    /// `store.write.partial` / `store.rename` fault sites) leaves it for
+    /// [`ContractStore::open`] to quarantine.
     pub fn put(
         &self,
         fp: Fingerprint,
@@ -293,6 +360,7 @@ impl ContractStore {
         n_paths: u64,
         payload: &[u8],
     ) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let mut w = ByteWriter::new();
         w.raw(MAGIC);
         w.u16(STORE_FORMAT_VERSION);
@@ -304,14 +372,54 @@ impl ContractStore {
         w.varint(n_paths);
         w.u64(fnv64(payload));
         w.bytes(payload);
+        let bytes = w.into_bytes();
         let final_path = self.path_of(fp, kind);
         let tmp = self.dir.join(format!(
-            ".{fp}.{}.tmp.{}",
+            ".{fp}.{}.tmp.{}.{}",
             kind.file_tag(),
-            std::process::id()
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         ));
-        fs::write(&tmp, w.into_bytes())?;
-        fs::rename(&tmp, &final_path)
+        let fault = self.fault.as_deref();
+        // A simulated crash mid-write: half the bytes land in the temp
+        // file and the writer "dies" — the torn scratch file stays
+        // behind, exactly what a real kill -9 leaves. open() quarantines
+        // it; no reader ever sees it (the final path is untouched).
+        if let Some(e) = fault.and_then(|f| f.io_fault(site::STORE_WRITE_PARTIAL, "torn write")) {
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return Err(e);
+        }
+        let res = (|| {
+            if let Some(e) = fault.and_then(|f| f.io_fault(site::STORE_WRITE, "write failed")) {
+                return Err(e);
+            }
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            if let Some(e) = fault.and_then(|f| f.io_fault(site::STORE_FSYNC, "fsync failed")) {
+                return Err(e);
+            }
+            // Durability before visibility: the record must be on disk
+            // before the rename can expose it under a valid name.
+            f.sync_all()
+        })();
+        if let Err(e) = res {
+            // An honest write failure (ENOSPC and kin): clean up the
+            // scratch file, keep the store exactly as it was.
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // A simulated crash between write and rename: the complete temp
+        // file is orphaned (open() quarantines it later).
+        if let Some(e) = fault.and_then(|f| f.io_fault(site::STORE_RENAME, "crash before rename")) {
+            return Err(e);
+        }
+        match fs::rename(&tmp, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Header metadata of every readable record, sorted by NF name then
@@ -782,6 +890,81 @@ mod tests {
         assert_eq!(report.kept, 0);
         assert!(store.list().unwrap().is_empty());
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn open_quarantines_orphaned_tmp_files() {
+        let store = temp_store("quarantine");
+        store
+            .put(fp(1), RecordKind::Exploration, "fw", 0, 1, b"live")
+            .unwrap();
+        // A dead writer's leavings: a torn scratch file and a complete
+        // one that never got renamed.
+        fs::write(store.dir().join(".00ff.exp.tmp.999.0"), b"torn").unwrap();
+        fs::write(
+            store.dir().join(".00aa.ctr.tmp.999.1"),
+            b"complete-but-orphaned",
+        )
+        .unwrap();
+        // Unrelated dotfiles are not ours to delete.
+        fs::write(store.dir().join(".keepme"), b"user file").unwrap();
+        let reopened = ContractStore::open(store.dir().to_path_buf()).unwrap();
+        assert_eq!(reopened.quarantined(), 2);
+        assert!(!store.dir().join(".00ff.exp.tmp.999.0").exists());
+        assert!(!store.dir().join(".00aa.ctr.tmp.999.1").exists());
+        assert!(store.dir().join(".keepme").exists());
+        assert_eq!(
+            reopened.get(fp(1), RecordKind::Exploration).as_deref(),
+            Some(b"live".as_slice()),
+            "quarantine must not touch real records"
+        );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn faulted_puts_fail_clean_and_heal() {
+        use bolt_fault::{site, FaultPlan};
+        let dir =
+            std::env::temp_dir().join(format!("bolt-store-test-fault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // One crash of every flavour, scheduled deterministically.
+        let plan = Arc::new(
+            FaultPlan::seeded(42)
+                .with_at(site::STORE_WRITE_PARTIAL, 1)
+                .with_at(site::STORE_RENAME, 1)
+                .with_at(site::STORE_WRITE, 1)
+                .with_at(site::STORE_READ, 1),
+        );
+        let store = ContractStore::with_faults(&dir, Some(plan)).unwrap();
+        // Torn write: put fails, final path untouched, torn tmp left.
+        assert!(store
+            .put(fp(1), RecordKind::Exploration, "nf", 0, 1, b"aaaa")
+            .is_err());
+        assert!(store.get(fp(1), RecordKind::Exploration).is_none()); // also burns the read fault
+                                                                      // Crash before rename: put fails, complete tmp orphaned.
+        assert!(store
+            .put(fp(1), RecordKind::Exploration, "nf", 0, 1, b"aaaa")
+            .is_err());
+        // Plain write failure: cleaned up eagerly.
+        assert!(store
+            .put(fp(1), RecordKind::Exploration, "nf", 0, 1, b"aaaa")
+            .is_err());
+        // All faults burnt: the same put now lands and reads back.
+        store
+            .put(fp(1), RecordKind::Exploration, "nf", 0, 1, b"aaaa")
+            .unwrap();
+        assert_eq!(
+            store.get(fp(1), RecordKind::Exploration).as_deref(),
+            Some(b"aaaa".as_slice())
+        );
+        // Reopen heals the two crash orphans (torn + unrenamed).
+        let reopened = ContractStore::open(&dir).unwrap();
+        assert_eq!(reopened.quarantined(), 2);
+        assert_eq!(
+            reopened.get(fp(1), RecordKind::Exploration).as_deref(),
+            Some(b"aaaa".as_slice())
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -39,7 +39,8 @@ use bolt::nfs::nat::{AllocKind, NatConfig};
 use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
 use bolt::see::StackLevel;
 use bolt::serve::{
-    CacheConfig, Client, DiffRequest, Endpoint, QueryRequest, ServeCore, Server, ServerConfig,
+    CacheConfig, Client, ClientConfig, DiffRequest, Endpoint, QueryRequest, ServeCore, Server,
+    ServerConfig,
 };
 use bolt::trace::Metric;
 use bolt::{ContractStore, NetworkFunction};
@@ -115,8 +116,10 @@ fn usage() -> ! {
          \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N] [--store DIR]\n\
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR | --remote EP]\n\
          \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
-         \x20 serve    [--socket PATH] [--tcp ADDR] [--cache-budget BYTES] [--store DIR]\n\
+         \x20 serve    [--socket PATH] [--tcp ADDR] [--cache-budget BYTES] [--max-conns N]\n\
+         \x20          [--idle-timeout SECS] [--deadline SECS] [--store DIR]\n\
          \x20 provenance --nf NAME [--level L] [--store DIR | --remote EP]\n\
+         \x20 ping     --remote EP [--timeout SECS]   (exit 0 = alive, 1 = not)\n\
          \x20 stats    --remote EP\n\
          \x20 shutdown --remote EP\n\
          \n\
@@ -124,7 +127,8 @@ fn usage() -> ! {
          LEVEL  ∈ {{nf-only, full-stack}} (default: full-stack)\n\
          M      ∈ {{instructions, mem-accesses, cycles}} (default: instructions)\n\
          EP     a unix socket path, or tcp:HOST:PORT\n\
-         store  --store DIR, else $BOLT_STORE_DIR, else .bolt-store",
+         store  --store DIR, else $BOLT_STORE_DIR, else .bolt-store\n\
+         remote calls honour --timeout SECS as the per-call reply deadline",
         NF_NAMES.join(", ")
     );
     exit(2);
@@ -177,6 +181,10 @@ struct Opts {
     socket: Option<String>,
     tcp: Option<String>,
     cache_budget: Option<u64>,
+    timeout: Option<u64>,
+    max_conns: Option<usize>,
+    idle_timeout: Option<u64>,
+    deadline: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -221,6 +229,35 @@ fn parse_opts(args: &[String]) -> Opts {
                     Some(v.parse::<u64>().unwrap_or_else(|_| {
                         die(&format!("bad --cache-budget {v:?} (want bytes)"))
                     }));
+            }
+            "--timeout" => {
+                let v = val("--timeout");
+                o.timeout = Some(
+                    v.parse::<u64>()
+                        .unwrap_or_else(|_| die(&format!("bad --timeout {v:?} (want seconds)"))),
+                );
+            }
+            "--max-conns" => {
+                let v = val("--max-conns");
+                o.max_conns = Some(v.parse::<usize>().unwrap_or_else(|_| {
+                    die(&format!(
+                        "bad --max-conns {v:?} (want a count; 0 = unlimited)"
+                    ))
+                }));
+            }
+            "--idle-timeout" => {
+                let v = val("--idle-timeout");
+                o.idle_timeout =
+                    Some(v.parse::<u64>().unwrap_or_else(|_| {
+                        die(&format!("bad --idle-timeout {v:?} (want seconds)"))
+                    }));
+            }
+            "--deadline" => {
+                let v = val("--deadline");
+                o.deadline = Some(
+                    v.parse::<u64>()
+                        .unwrap_or_else(|_| die(&format!("bad --deadline {v:?} (want seconds)"))),
+                );
             }
             "--pcv" => {
                 let kv = val("--pcv");
@@ -299,15 +336,21 @@ fn cmd_explore(o: &Opts) {
     }
 }
 
-/// Connect to a serving endpoint named by `--remote`.
-fn remote_client(ep: &str) -> Client {
-    Client::connect(&Endpoint::parse(ep))
+/// Connect to a serving endpoint named by `--remote`, honouring
+/// `--timeout SECS` as the per-call reply deadline.
+fn remote_client(o: &Opts, ep: &str) -> Client {
+    let endpoint = Endpoint::parse(ep).unwrap_or_else(|e| die(&e.to_string()));
+    let mut config = ClientConfig::default();
+    if let Some(secs) = o.timeout {
+        config.deadline = std::time::Duration::from_secs(secs.max(1));
+    }
+    Client::connect_with(&endpoint, config)
         .unwrap_or_else(|e| die(&format!("cannot connect to {ep}: {e}")))
 }
 
 fn cmd_list(o: &Opts) {
     if let Some(ep) = &o.remote {
-        match remote_client(ep).list() {
+        match remote_client(o, ep).list() {
             Ok((_, text)) => print!("{text}"),
             Err(e) => die(&e.to_string()),
         }
@@ -398,7 +441,7 @@ fn cmd_query(o: &Opts) {
             tag: o.tag.clone(),
             pcvs: o.pcvs.clone(),
         };
-        match remote_client(ep).query(req) {
+        match remote_client(o, ep).query(req) {
             Ok(reply) => print!("{}", reply.text),
             Err(e) => die(&e.to_string()),
         }
@@ -444,7 +487,7 @@ fn cmd_diff(o: &Opts) {
             b: sb.to_string(),
             metric: metric.index() as u8,
         };
-        match remote_client(ep).diff(req) {
+        match remote_client(o, ep).diff(req) {
             Ok(text) => print!("{text}"),
             Err(e) => die(&e.to_string()),
         }
@@ -634,6 +677,10 @@ fn cmd_serve(o: &Opts) {
         ServerConfig {
             unix,
             tcp: o.tcp.clone(),
+            max_connections: o.max_conns.unwrap_or(0),
+            idle_timeout: o.idle_timeout.map(std::time::Duration::from_secs),
+            request_deadline: o.deadline.map(std::time::Duration::from_secs),
+            ..ServerConfig::default()
         },
     )
     .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
@@ -663,7 +710,7 @@ fn cmd_provenance(o: &Opts) {
             .unwrap_or_else(|| die("provenance needs --nf"));
     let level = level_tag(levels_of(o)[0]);
     if let Some(ep) = &o.remote {
-        match remote_client(ep).provenance(name, level) {
+        match remote_client(o, ep).provenance(name, level) {
             Ok(text) => print!("{text}"),
             Err(e) => die(&e.to_string()),
         }
@@ -676,12 +723,42 @@ fn cmd_provenance(o: &Opts) {
     }
 }
 
+/// Liveness probe for health checks and CI readiness loops: exit 0 when
+/// the server answers a ping within the deadline (5 s unless `--timeout`
+/// says otherwise), exit 1 on *any* failure — never 2, so scripts can
+/// tell "server down" from "you typed the command wrong".
+fn cmd_ping(o: &Opts) {
+    let ep = o
+        .remote
+        .as_deref()
+        .unwrap_or_else(|| die("ping needs --remote ENDPOINT"));
+    let endpoint = match Endpoint::parse(ep) {
+        Ok(ep) => ep,
+        Err(e) => die(&e.to_string()), // malformed spec IS a usage error
+    };
+    let config = ClientConfig {
+        deadline: std::time::Duration::from_secs(o.timeout.unwrap_or(5).max(1)),
+        connect_timeout: std::time::Duration::from_secs(o.timeout.unwrap_or(5).max(1)),
+        retries: 0, // a probe reports the truth right now; no masking
+        ..ClientConfig::default()
+    };
+    match Client::connect_with(&endpoint, config).and_then(|mut c| c.ping()) {
+        Ok(version) => {
+            println!("{ep}: alive (server v{version})");
+        }
+        Err(e) => {
+            eprintln!("bolt: {ep}: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_stats(o: &Opts) {
     let ep = o
         .remote
         .as_deref()
         .unwrap_or_else(|| die("stats needs --remote ENDPOINT (counters live in the server)"));
-    match remote_client(ep).stats() {
+    match remote_client(o, ep).stats() {
         Ok(stats) => {
             for (name, value) in &stats.counters {
                 println!("{name:>16} : {value}");
@@ -696,7 +773,7 @@ fn cmd_shutdown(o: &Opts) {
         .remote
         .as_deref()
         .unwrap_or_else(|| die("shutdown needs --remote ENDPOINT"));
-    match remote_client(ep).shutdown() {
+    match remote_client(o, ep).shutdown() {
         Ok(()) => println!("server at {ep} is shutting down"),
         Err(e) => die(&e.to_string()),
     }
@@ -717,6 +794,7 @@ fn main() {
         "evict" => cmd_evict(&o),
         "serve" => cmd_serve(&o),
         "provenance" => cmd_provenance(&o),
+        "ping" => cmd_ping(&o),
         "stats" => cmd_stats(&o),
         "shutdown" => cmd_shutdown(&o),
         _ => usage(),

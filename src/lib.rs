@@ -52,6 +52,7 @@
 pub use bolt_core as core;
 pub use bolt_distiller as distiller;
 pub use bolt_expr as expr;
+pub use bolt_fault as fault;
 pub use bolt_hw as hw;
 pub use bolt_nfs as nfs;
 pub use bolt_serve as serve;
