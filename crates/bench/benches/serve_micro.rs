@@ -135,7 +135,27 @@ fn main() {
     }
     let socket_ops = (socket_clients * socket_iters) as f64 / t0.elapsed().as_secs_f64();
     server.request_shutdown();
-    server.join();
+    let served = server.join();
+
+    // Per-opcode latency percentiles, from the server's own histograms
+    // (nanosecond series; reported in µs). Only opcodes the bench
+    // actually exercised appear.
+    let snap = served.metrics().snapshot();
+    let opcode_lat: Vec<(String, u64, f64, f64)> = snap
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let op = name.strip_prefix("serve.req.")?;
+            (h.count > 0).then(|| {
+                (
+                    op.to_string(),
+                    h.count,
+                    h.p50() as f64 / 1e3,
+                    h.p99() as f64 / 1e3,
+                )
+            })
+        })
+        .collect();
 
     print_table(
         "serve_micro — long-lived serving vs one-shot cost",
@@ -158,6 +178,9 @@ fn main() {
             ],
         ],
     );
+    for (op, count, p50_us, p99_us) in &opcode_lat {
+        println!("socket {op}: n={count} p50={p50_us:.1}µs p99={p99_us:.1}µs");
+    }
     println!(
         "\nwarm-serving check passed: {warm_iters} repeated queries ran 0 explorations,\n\
          0 further solver requests, 0 further record decodes; all socket answers were\n\
@@ -165,11 +188,22 @@ fn main() {
     );
 
     // The machine-readable trajectory point.
+    let lat_json = opcode_lat
+        .iter()
+        .map(|(op, count, p50_us, p99_us)| {
+            format!(
+                "\"{op}\": {{\"count\": {count}, \"p50_us\": {p50_us:.1}, \
+                 \"p99_us\": {p99_us:.1}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"bench\": \"serve_micro\",\n  \"quick\": {quick},\n  \
          \"cold_start_ms\": {cold_ms:.3},\n  \"warm_memo_us\": {warm_us:.3},\n  \
          \"warm_ops_per_sec\": {warm_ops:.0},\n  \"socket_clients\": {socket_clients},\n  \
-         \"socket_ops_per_sec\": {socket_ops:.0},\n  \"memo_hit_rate\": {memo_hit_rate:.4}\n}}\n"
+         \"socket_ops_per_sec\": {socket_ops:.0},\n  \"memo_hit_rate\": {memo_hit_rate:.4},\n  \
+         \"opcode_latency\": {{{lat_json}}}\n}}\n"
     );
     // Land the trajectory file at the workspace root (cargo runs benches
     // with the package dir as cwd) so successive runs overwrite one spot.

@@ -157,6 +157,39 @@ pub trait StoreExt {
     fn peek(&self, key: Fingerprint, kind: RecordKind) -> Option<RecordHeader>;
 }
 
+/// Feed one fresh exploration's counters into a metrics registry, under
+/// the `explore.*` / `solver.*` wire vocabulary. Called only on the cold
+/// path — a warm record replays the *original* run's stats, which would
+/// double-count work this process never did.
+fn feed_explore_stats(metrics: &bolt_obs::Registry, stats: &bolt_see::ExploreStats) {
+    metrics.counter("explore.explorations").inc();
+    metrics.counter("explore.runs").add(stats.runs);
+    metrics
+        .counter("explore.terms_interned")
+        .add(stats.terms_interned);
+    metrics
+        .counter("explore.syms_minted")
+        .add(stats.syms_minted);
+    let s = &stats.solver;
+    metrics
+        .counter("solver.checks_requested")
+        .add(s.checks_requested);
+    metrics.counter("solver.queries").add(s.solver_queries);
+    metrics
+        .counter("solver.completion_searches")
+        .add(s.completion_searches);
+    metrics
+        .counter("solver.unsat_by_propagation")
+        .add(s.unsat_by_propagation);
+    metrics.counter("solver.memo_hits").add(s.memo_hits);
+    metrics
+        .counter("solver.witness_reuse_hits")
+        .add(s.witness_reuse_hits);
+    metrics
+        .counter("solver.model_evictions")
+        .add(s.model_evictions);
+}
+
 impl StoreExt for ContractStore {
     fn get_or_explore_threads<N: NetworkFunction + Sync>(
         &self,
@@ -166,7 +199,11 @@ impl StoreExt for ContractStore {
     ) -> Exploration<N::Ids> {
         let key = store_key(nf, level);
         if let Some(payload) = self.get(key, RecordKind::Exploration) {
-            match bolt_see::codec::decode_result(&payload) {
+            let decoded = {
+                let _span = self.metrics().histogram("store.decode").span();
+                bolt_see::codec::decode_result(&payload)
+            };
+            match decoded {
                 Ok(result) => {
                     let mut reg = DsRegistry::new();
                     let ids = nf.register(&mut reg);
@@ -186,7 +223,11 @@ impl StoreExt for ContractStore {
                 }
             }
         }
-        let ex = nf.explore_threads(level, threads);
+        let ex = {
+            let _span = self.metrics().histogram("explore.wall").span();
+            nf.explore_threads(level, threads)
+        };
+        feed_explore_stats(self.metrics(), &ex.result.stats);
         let payload = bolt_see::codec::encode_result(&ex.result);
         // A failed write costs only the warm start, never the result.
         let _ = self.put(

@@ -142,6 +142,7 @@ pub struct FaultPlan {
     stall: Duration,
     sites: Mutex<HashMap<String, SiteState>>,
     injected: AtomicU64,
+    rejected: u64,
 }
 
 impl FaultPlan {
@@ -152,6 +153,7 @@ impl FaultPlan {
             stall: Duration::from_millis(100),
             sites: Mutex::new(HashMap::new()),
             injected: AtomicU64::new(0),
+            rejected: 0,
         }
     }
 
@@ -200,20 +202,72 @@ impl FaultPlan {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// Plan-spec entries rejected while parsing (see [`FaultPlan::with_spec`]).
+    pub fn rejected_entries(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Parse a comma-separated spec (`site=PROB` / `site@NTH` entries, the
+    /// `BOLT_FAULT_PLAN` grammar) into the plan. Malformed entries never
+    /// panic — fault injection must not be able to take the process down by
+    /// itself. Each reject is counted (see [`FaultPlan::rejected_entries`])
+    /// and reported as a `fault.plan.reject` event through the ambient
+    /// `bolt_obs` trace sink, carrying the offending entry and a reason.
+    pub fn with_spec(mut self, spec: &str) -> Self {
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let reason = if let Some((name, p)) = entry.split_once('=') {
+                match p.trim().parse::<f64>() {
+                    Ok(p) => {
+                        self = self.with_prob(name.trim(), p);
+                        continue;
+                    }
+                    Err(_) => "bad probability",
+                }
+            } else if let Some((name, n)) = entry.split_once('@') {
+                match n.trim().parse::<u64>() {
+                    Ok(n) => {
+                        self = self.with_at(name.trim(), n);
+                        continue;
+                    }
+                    Err(_) => "bad call index",
+                }
+            } else {
+                "want site=PROB or site@NTH"
+            };
+            self.rejected += 1;
+            bolt_obs::trace::emit(
+                "fault.plan.reject",
+                &[("entry", entry.into()), ("reason", reason.into())],
+            );
+        }
+        self
+    }
+
     /// Ask whether `site` fires on this call. Sites the plan never named
     /// always answer `false` (and keep no state).
     pub fn fires(&self, site: &str) -> bool {
-        let mut sites = self.sites.lock().expect("fault plan poisoned");
-        let Some(state) = sites.get_mut(site) else {
-            return false;
-        };
-        state.calls += 1;
-        let fire = match state.mode {
-            Mode::Prob(p) => state.rng.next_f64() < p,
-            Mode::At(n) => state.calls == n,
+        let (fire, call) = {
+            let mut sites = self.sites.lock().expect("fault plan poisoned");
+            let Some(state) = sites.get_mut(site) else {
+                return false;
+            };
+            state.calls += 1;
+            let fire = match state.mode {
+                Mode::Prob(p) => state.rng.next_f64() < p,
+                Mode::At(n) => state.calls == n,
+            };
+            (fire, state.calls)
         };
         if fire {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            bolt_obs::trace::emit(
+                "fault.inject",
+                &[("site", site.into()), ("call", call.into())],
+            );
         }
         fire
     }
@@ -231,8 +285,8 @@ impl FaultPlan {
     /// variable is set. A seed without a plan yields an inert plan (no
     /// sites) — useful for CI matrices whose tests build their own
     /// site schedules from [`FaultPlan::seed`]. Malformed entries are
-    /// skipped with a warning, never a panic: fault injection must not
-    /// be able to take the process down by itself.
+    /// rejected (counted, traced), never a panic: fault injection must
+    /// not be able to take the process down by itself.
     pub fn from_env() -> Option<Arc<FaultPlan>> {
         let seed_var = std::env::var("BOLT_FAULT_SEED").ok();
         let plan_var = std::env::var("BOLT_FAULT_PLAN").ok();
@@ -250,25 +304,7 @@ impl FaultPlan {
             }
         }
         if let Some(spec) = plan_var {
-            for entry in spec.split(',') {
-                let entry = entry.trim();
-                if entry.is_empty() {
-                    continue;
-                }
-                if let Some((name, p)) = entry.split_once('=') {
-                    match p.trim().parse::<f64>() {
-                        Ok(p) => plan = plan.with_prob(name.trim(), p),
-                        Err(_) => eprintln!("bolt-fault: bad probability in {entry:?}, skipped"),
-                    }
-                } else if let Some((name, n)) = entry.split_once('@') {
-                    match n.trim().parse::<u64>() {
-                        Ok(n) => plan = plan.with_at(name.trim(), n),
-                        Err(_) => eprintln!("bolt-fault: bad call index in {entry:?}, skipped"),
-                    }
-                } else {
-                    eprintln!("bolt-fault: bad plan entry {entry:?} (want site=PROB or site@NTH)");
-                }
-            }
+            plan = plan.with_spec(&spec);
         }
         Some(Arc::new(plan))
     }
@@ -332,6 +368,23 @@ mod tests {
             .expect("scheduled");
         assert!(e.to_string().contains("store.rename"), "{e}");
         assert!(plan.io_fault(site::STORE_RENAME, "again").is_none());
+    }
+
+    #[test]
+    fn spec_parsing_counts_rejects() {
+        let plan = FaultPlan::seeded(1)
+            .with_spec("store.rename=0.5, serve.read.err@3,bogus,x=notafloat,y@NaN, ,z=1.0");
+        assert_eq!(plan.rejected_entries(), 3, "bogus, x=, y@ are rejected");
+        // The well-formed entries still landed.
+        assert!((0..10).any(|_| plan.fires("z")), "z=1.0 accepted");
+        let fired: Vec<bool> = (0..4).map(|_| plan.fires("serve.read.err")).collect();
+        assert_eq!(fired, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn clean_spec_rejects_nothing() {
+        let plan = FaultPlan::seeded(2).with_spec("a=0.25,b@7");
+        assert_eq!(plan.rejected_entries(), 0);
     }
 
     #[test]

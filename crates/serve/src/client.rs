@@ -25,7 +25,8 @@ use std::time::Duration;
 use bolt_fault::XorShift64;
 
 use crate::protocol::{
-    read_frame, write_frame, DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply,
+    read_frame, write_frame, DiffRequest, MetricsReply, QueryReply, QueryRequest, Request,
+    Response, StatsReply,
 };
 
 /// Where a server lives: `tcp:HOST:PORT`, or a Unix socket path.
@@ -341,6 +342,15 @@ impl Client {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(mismatch("stats reply", &other)),
+        }
+    }
+
+    /// Fetch the server's full observability snapshot: counters,
+    /// gauges, and latency histograms.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ServeError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(mismatch("metrics reply", &other)),
         }
     }
 

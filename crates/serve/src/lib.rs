@@ -35,8 +35,8 @@ pub mod service;
 pub use cache::{CacheConfig, ContractCache};
 pub use client::{Client, ClientConfig, Endpoint, ParseEndpointError, ServeError};
 pub use protocol::{
-    DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply, MAX_FRAME,
+    DiffRequest, MetricsReply, QueryReply, QueryRequest, Request, Response, StatsReply, MAX_FRAME,
     PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig};
-pub use service::{ServeCore, NF_NAMES};
+pub use service::{Phase, ServeCore, LEGACY_STATS_NAMES, NF_NAMES};

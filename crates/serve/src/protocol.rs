@@ -24,6 +24,7 @@
 
 use std::io::{self, Read, Write};
 
+use bolt_obs::{HistogramSnapshot, Snapshot, HIST_BUCKETS};
 use bolt_store::{ByteReader, ByteWriter, DecodeError};
 
 /// Protocol version spoken by this build. Bumped on any frame-layout or
@@ -54,6 +55,11 @@ pub enum Opcode {
     Stats = 6,
     /// Graceful shutdown: stop accepting, drain in-flight, exit.
     Shutdown = 7,
+    /// Full observability snapshot: every counter, gauge, and latency
+    /// histogram in the server's registry. Added within protocol version
+    /// 1 — an old server answers it with a clean error frame (unknown
+    /// opcode), which clients surface as "server too old".
+    Metrics = 8,
 }
 
 impl Opcode {
@@ -66,8 +72,35 @@ impl Opcode {
             5 => Opcode::Provenance,
             6 => Opcode::Stats,
             7 => Opcode::Shutdown,
+            8 => Opcode::Metrics,
             _ => return Err(DecodeError::Malformed("unknown opcode")),
         })
+    }
+
+    /// Every opcode, in wire order (indexable as `op as u8 - 1`).
+    pub const ALL: [Opcode; 8] = [
+        Opcode::Ping,
+        Opcode::Query,
+        Opcode::Diff,
+        Opcode::List,
+        Opcode::Provenance,
+        Opcode::Stats,
+        Opcode::Shutdown,
+        Opcode::Metrics,
+    ];
+
+    /// Lower-case wire name — the `serve.req.<name>` histogram suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Query => "query",
+            Opcode::Diff => "diff",
+            Opcode::List => "list",
+            Opcode::Provenance => "provenance",
+            Opcode::Stats => "stats",
+            Opcode::Shutdown => "shutdown",
+            Opcode::Metrics => "metrics",
+        }
     }
 }
 
@@ -124,6 +157,8 @@ pub enum Request {
     Stats,
     /// Graceful shutdown.
     Shutdown,
+    /// Full observability snapshot.
+    Metrics,
 }
 
 impl Request {
@@ -137,6 +172,7 @@ impl Request {
             Request::Provenance { .. } => Opcode::Provenance,
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
+            Request::Metrics => Opcode::Metrics,
         }
     }
 
@@ -153,6 +189,7 @@ impl Request {
                 | Request::List
                 | Request::Provenance { .. }
                 | Request::Stats
+                | Request::Metrics
         )
     }
 
@@ -162,7 +199,11 @@ impl Request {
         w.u8(PROTOCOL_VERSION);
         w.u8(self.opcode() as u8);
         match self {
-            Request::Ping | Request::List | Request::Stats | Request::Shutdown => {}
+            Request::Ping
+            | Request::List
+            | Request::Stats
+            | Request::Shutdown
+            | Request::Metrics => {}
             Request::Query(q) => {
                 w.str(&q.nf);
                 w.u8(q.level);
@@ -208,6 +249,7 @@ impl Request {
             Opcode::List => Request::List,
             Opcode::Stats => Request::Stats,
             Opcode::Shutdown => Request::Shutdown,
+            Opcode::Metrics => Request::Metrics,
             Opcode::Query => {
                 let nf = r.str()?.to_owned();
                 let level = r.u8()?;
@@ -281,6 +323,57 @@ impl StatsReply {
     }
 }
 
+/// The full observability snapshot: every counter, gauge, and latency
+/// histogram in the server's registry, name-sorted. Histograms travel
+/// sparsely (only non-empty log2 buckets), so a reply stays small no
+/// matter how wide the value range is.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetricsReply {
+    /// Counter names and values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge names and values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram names and snapshots (latency series are nanoseconds).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsReply {
+    /// Build a reply from a registry snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        MetricsReply {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap.histograms.clone(),
+        }
+    }
+
+    /// Convert back into a registry snapshot (for merging or Prometheus
+    /// rendering client-side).
+    pub fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Look up one counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up one histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
 /// A decoded response frame.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Response {
@@ -310,6 +403,8 @@ pub enum Response {
     },
     /// Server counters.
     Stats(StatsReply),
+    /// Full observability snapshot.
+    Metrics(MetricsReply),
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
     /// The request failed; the connection remains usable (unless the
@@ -364,6 +459,35 @@ impl Response {
                     w.u64(*v);
                 }
             }
+            Response::Metrics(m) => {
+                w.u8(Opcode::Metrics as u8);
+                w.varint(m.counters.len() as u64);
+                for (name, v) in &m.counters {
+                    w.str(name);
+                    w.u64(*v);
+                }
+                w.varint(m.gauges.len() as u64);
+                for (name, v) in &m.gauges {
+                    w.str(name);
+                    // Two's-complement through u64; the decoder casts back.
+                    w.u64(*v as u64);
+                }
+                w.varint(m.histograms.len() as u64);
+                for (name, h) in &m.histograms {
+                    w.str(name);
+                    w.varint(h.count);
+                    w.u64(h.sum);
+                    w.u64(h.max);
+                    let nonzero = h.buckets.iter().filter(|&&c| c != 0).count();
+                    w.varint(nonzero as u64);
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c != 0 {
+                            w.u8(i as u8);
+                            w.varint(c);
+                        }
+                    }
+                }
+            }
             Response::ShuttingDown => {
                 w.u8(Opcode::Shutdown as u8);
             }
@@ -414,6 +538,45 @@ impl Response {
                     counters.push((name, v));
                 }
                 Response::Stats(StatsReply { counters })
+            }
+            Opcode::Metrics => {
+                let n = r.count(1 << 12)?;
+                let mut counters = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_owned();
+                    counters.push((name, r.u64()?));
+                }
+                let n = r.count(1 << 12)?;
+                let mut gauges = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_owned();
+                    gauges.push((name, r.u64()? as i64));
+                }
+                let n = r.count(1 << 12)?;
+                let mut histograms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?.to_owned();
+                    let mut h = HistogramSnapshot {
+                        count: r.varint()?,
+                        sum: r.u64()?,
+                        max: r.u64()?,
+                        ..HistogramSnapshot::default()
+                    };
+                    let nonzero = r.count(HIST_BUCKETS)?;
+                    for _ in 0..nonzero {
+                        let idx = r.u8()? as usize;
+                        if idx >= HIST_BUCKETS {
+                            return Err(DecodeError::Malformed("histogram bucket out of range"));
+                        }
+                        h.buckets[idx] = r.varint()?;
+                    }
+                    histograms.push((name, h));
+                }
+                Response::Metrics(MetricsReply {
+                    counters,
+                    gauges,
+                    histograms,
+                })
             }
             Opcode::Shutdown => Response::ShuttingDown,
         };
@@ -560,6 +723,7 @@ mod tests {
                 nf: "lb".into(),
                 level: 1,
             },
+            Request::Metrics,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -607,6 +771,84 @@ mod tests {
             let bytes = resp.encode();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn metrics_replies_round_trip() {
+        let mut h = HistogramSnapshot::default();
+        for v in [0u64, 1, 7, 1024, u64::MAX] {
+            h.buckets[bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum = h.sum.saturating_add(v);
+            h.max = h.max.max(v);
+        }
+        let reply = MetricsReply {
+            counters: vec![("serve.requests".into(), 42), ("store.hits".into(), 7)],
+            gauges: vec![("serve.active_connections".into(), -1)],
+            histograms: vec![
+                ("serve.req.query".into(), h),
+                ("store.get".into(), HistogramSnapshot::default()),
+            ],
+        };
+        let resp = Response::Metrics(reply.clone());
+        let bytes = resp.encode();
+        let decoded = Response::decode(&bytes).unwrap();
+        assert_eq!(decoded, resp);
+        let Response::Metrics(m) = decoded else {
+            unreachable!()
+        };
+        assert_eq!(m.counter("serve.requests"), Some(42));
+        assert_eq!(m.histogram("serve.req.query").unwrap().count, 5);
+        // Truncations decode to errors, never panics.
+        for cut in 0..bytes.len() {
+            assert!(Response::decode(&bytes[..cut]).is_err());
+        }
+        // A bucket index past the array is malformed, not a panic.
+        let empty = MetricsReply::default();
+        let mut bad = Response::Metrics(MetricsReply {
+            histograms: vec![("h".into(), HistogramSnapshot::default())],
+            ..empty
+        })
+        .encode();
+        // Patch the nonzero-bucket count from 0 to 1 and append a
+        // too-large index with a count.
+        let last = bad.len() - 1;
+        assert_eq!(bad[last], 0, "empty histogram ends with nonzero=0");
+        bad[last] = 1;
+        bad.push(64); // bucket index out of range
+        bad.push(1); // its count
+        assert!(Response::decode(&bad).is_err());
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        bolt_obs::bucket_of(v)
+    }
+
+    #[test]
+    fn stats_reply_wire_is_append_compatible() {
+        // The schema-free (name, value) encoding is the compatibility
+        // contract: a reply with counters appended past the legacy set
+        // still decodes, and the legacy names resolve unchanged — this is
+        // what lets an old client read a new server's stats.
+        let legacy = StatsReply {
+            counters: vec![("requests".into(), 3), ("errors".into(), 0)],
+        };
+        let extended = StatsReply {
+            counters: legacy
+                .counters
+                .iter()
+                .cloned()
+                .chain([("store_hits".into(), 9), ("brand_new".into(), 1)])
+                .collect(),
+        };
+        let decoded = Response::decode(&Response::Stats(extended).encode()).unwrap();
+        let Response::Stats(s) = decoded else {
+            unreachable!()
+        };
+        for (name, v) in &legacy.counters {
+            assert_eq!(s.get(name), Some(*v), "legacy counter {name} intact");
+        }
+        assert_eq!(s.get("store_hits"), Some(9));
     }
 
     #[test]

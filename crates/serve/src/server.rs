@@ -30,9 +30,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bolt_fault::{site, FaultPlan};
+use bolt_obs::{trace, Gauge};
 
 use crate::protocol::{write_frame, FrameBuffer, Request, Response};
-use crate::service::ServeCore;
+use crate::service::{Phase, ServeCore};
 
 /// How long a connection read blocks before re-checking the shutdown
 /// flag, and how long an idle accept loop sleeps between polls.
@@ -77,12 +78,14 @@ struct Limits {
     active: Arc<AtomicUsize>,
 }
 
-/// Decrements the active-connection gauge however the connection ends.
-struct ActiveGuard(Arc<AtomicUsize>);
+/// Decrements the active-connection count (and the exported
+/// `serve.active_connections` gauge) however the connection ends.
+struct ActiveGuard(Arc<AtomicUsize>, Arc<Gauge>);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+        self.1.dec();
     }
 }
 
@@ -294,13 +297,18 @@ where
     std::thread::spawn(move || loop {
         match accept(&listener) {
             Ok(mut stream) => {
-                core.note_connection();
+                let conn_id = core.note_connection();
                 // Claim a slot before spawning, so the cap holds even
                 // while a burst of accepts races the handler threads.
                 let taken = limits.active.fetch_add(1, Ordering::SeqCst);
-                let guard = ActiveGuard(Arc::clone(&limits.active));
+                core.connection_gauge().inc();
+                let guard = ActiveGuard(
+                    Arc::clone(&limits.active),
+                    Arc::clone(core.connection_gauge()),
+                );
                 if limits.max_connections > 0 && taken >= limits.max_connections {
                     core.note_busy_reject();
+                    trace::emit("serve.conn.busy", &[("id", conn_id.into())]);
                     let reply = Response::Error {
                         message: format!(
                             "server busy: {} connection(s) already active; retry later",
@@ -311,12 +319,13 @@ where
                     drop(guard); // releases the slot; stream drops too
                     continue;
                 }
+                trace::emit("serve.conn.open", &[("id", conn_id.into())]);
                 let core = Arc::clone(&core);
                 let shutdown = Arc::clone(&shutdown);
                 let limits = limits.clone();
                 let handle = std::thread::spawn(move || {
                     let _guard = guard;
-                    match limits.fault.clone() {
+                    let reason = match limits.fault.clone() {
                         Some(plan) => serve_conn(
                             &core,
                             &shutdown,
@@ -327,7 +336,11 @@ where
                             &limits,
                         ),
                         None => serve_conn(&core, &shutdown, stream, &limits),
-                    }
+                    };
+                    trace::emit(
+                        "serve.conn.close",
+                        &[("id", conn_id.into()), ("reason", reason.into())],
+                    );
                 });
                 let mut guard = conns.lock().expect("conns poisoned");
                 guard.push(handle);
@@ -413,20 +426,36 @@ impl<S: Conn> Conn for FaultStream<S> {
 /// Serve one connection until EOF, a frame-sync violation, the idle
 /// timeout, or an idle stream under shutdown. Complete frames already
 /// received are always answered, shutdown or not — the drain guarantee.
-fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S, limits: &Limits) {
+/// Returns why the connection closed (the `serve.conn.close` reason).
+fn serve_conn<S: Conn>(
+    core: &ServeCore,
+    shutdown: &AtomicBool,
+    mut stream: S,
+    limits: &Limits,
+) -> &'static str {
     if stream.set_read_timeout(Some(POLL)).is_err() {
-        return;
+        return "setup-failed";
     }
     let mut fb = FrameBuffer::new();
     let mut buf = [0u8; 16 * 1024];
     let mut idle_since = Instant::now();
+    // Read-phase clock: ticking from the first bytes of a frame to the
+    // frame's completion. Frames already buffered behind the one being
+    // answered cost no further socket time and record as ~0.
+    let mut read_started: Option<Instant> = None;
     loop {
         // Answer everything already buffered before reading more.
         loop {
             match fb.next_frame() {
                 Ok(Some(payload)) => {
-                    if !handle_frame(core, shutdown, &mut stream, limits, &payload) {
-                        return;
+                    let read_ns = read_started
+                        .take()
+                        .map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    core.phase_histogram(Phase::Read).record(read_ns);
+                    if let Err(reason) =
+                        handle_frame(core, shutdown, &mut stream, limits, &payload, read_ns)
+                    {
+                        return reason;
                     }
                     idle_since = Instant::now();
                 }
@@ -437,14 +466,15 @@ fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S, l
                         message: e.to_string(),
                     };
                     let _ = write_frame(&mut stream, &reply.encode());
-                    return;
+                    return "frame-desync";
                 }
             }
         }
         match stream.read(&mut buf) {
-            Ok(0) => return,
+            Ok(0) => return "eof",
             Ok(n) => {
                 fb.extend(&buf[..n]);
+                read_started.get_or_insert_with(Instant::now);
                 idle_since = Instant::now();
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -456,30 +486,32 @@ fn serve_conn<S: Conn>(core: &ServeCore, shutdown: &AtomicBool, mut stream: S, l
                 // returned them — an idle stream under shutdown has
                 // nothing left to drain.
                 if shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return "drained";
                 }
                 if let Some(max_idle) = limits.idle_timeout {
                     if idle_since.elapsed() >= max_idle {
                         core.note_idle_close();
-                        return;
+                        return "idle-timeout";
                     }
                 }
             }
-            Err(_) => return,
+            Err(_) => return "read-error",
         }
     }
 }
 
-/// Decode and answer one frame. Returns `false` when the connection
-/// should close (shutdown acknowledged or the reply could not be
-/// written).
+/// Decode and answer one frame. `read_ns` is the frame's read-phase
+/// time, folded into the per-opcode total. Returns `Err(reason)` when
+/// the connection should close (shutdown acknowledged or the reply
+/// could not be written).
 fn handle_frame<S: Conn>(
     core: &ServeCore,
     shutdown: &AtomicBool,
     stream: &mut S,
     limits: &Limits,
     payload: &[u8],
-) -> bool {
+    read_ns: u64,
+) -> Result<(), &'static str> {
     let req = match Request::decode(payload) {
         Ok(req) => req,
         Err(e) => {
@@ -488,9 +520,13 @@ fn handle_frame<S: Conn>(
             let reply = Response::Error {
                 message: format!("bad request: {e}"),
             };
-            return write_frame(stream, &reply.encode()).is_ok();
+            return match write_frame(stream, &reply.encode()) {
+                Ok(()) => Ok(()),
+                Err(_) => Err("write-failed"),
+            };
         }
     };
+    let op = req.opcode();
     let is_shutdown = matches!(req, Request::Shutdown);
     let started = Instant::now();
     // Injected slowness counts against the deadline like real slowness.
@@ -500,8 +536,11 @@ fn handle_frame<S: Conn>(
         }
     }
     let mut reply = core.handle(&req);
+    let handled = Instant::now();
+    core.phase_histogram(Phase::Handle)
+        .record(handled.duration_since(started).as_nanos() as u64);
     if let Some(deadline) = limits.request_deadline {
-        let elapsed = started.elapsed();
+        let elapsed = handled.duration_since(started);
         // Exploration cannot be aborted mid-flight, so the work ran to
         // completion either way (and is persisted for next time) — but
         // an answer slower than the deadline is not the answer the
@@ -516,10 +555,18 @@ fn handle_frame<S: Conn>(
         }
     }
     let sent = write_frame(stream, &reply.encode()).is_ok();
+    core.phase_histogram(Phase::Write)
+        .record(handled.elapsed().as_nanos() as u64);
+    core.request_histogram(op)
+        .record(read_ns + started.elapsed().as_nanos() as u64);
     if is_shutdown {
         // Flag after replying, so the requester gets its ack.
         shutdown.store(true, Ordering::SeqCst);
-        return false;
+        return Err("shutdown");
     }
-    sent
+    if sent {
+        Ok(())
+    } else {
+        Err("write-failed")
+    }
 }

@@ -19,7 +19,6 @@
 //! protocol tests pin the "warm repeat does zero work" property.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bolt_core::store::{level_from_tag, level_tag, store_key, RecordKind, StoreExt};
@@ -27,13 +26,16 @@ use bolt_core::{generate, ClassSpec, Exploration, InputClass, NetworkFunction};
 use bolt_expr::PcvAssignment;
 use bolt_nfs::nat::{AllocKind, NatConfig};
 use bolt_nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
+use bolt_obs::{trace, Counter, Gauge, Histogram, Registry};
 use bolt_solver::Solver;
 use bolt_store::{ContractStore, Fingerprint};
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
 use crate::cache::{CacheConfig, CacheEntry, ContractCache, MemoKey};
-use crate::protocol::{DiffRequest, QueryReply, QueryRequest, Request, Response, StatsReply};
+use crate::protocol::{
+    DiffRequest, MetricsReply, Opcode, QueryReply, QueryRequest, Request, Response, StatsReply,
+};
 
 /// The NF dispatch vocabulary the server understands (the same names
 /// `bolt_cli` accepts; `nat` is an alias for `nat-a`).
@@ -137,60 +139,119 @@ fn class_of(tag: &Option<String>) -> InputClass {
     }
 }
 
-/// Monotonic request/work counters. Names are the wire vocabulary of
-/// the `stats` reply, so tests and dashboards address them by string.
-#[derive(Default)]
+/// Wire names of the request phases, indexed by [`Phase`] — each is a
+/// `serve.phase.<name>` histogram in the core's registry.
+pub const PHASE_NAMES: [&str; 3] = ["read", "handle", "write"];
+
+/// Where one request's wall time went: reading the frame off the
+/// socket, computing the answer, or writing the reply. Indexes
+/// [`ServeCore::phase_histogram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// First byte of a frame arriving → frame complete.
+    Read = 0,
+    /// Frame decoded → reply computed (injected stalls included, to
+    /// match the request-deadline clock).
+    Handle = 1,
+    /// Reply encoded → frame flushed to the socket.
+    Write = 2,
+}
+
+/// Legacy `stats`-reply counter names, in their frozen wire order. The
+/// first 17 entries of every [`StatsReply`] are exactly these, in this
+/// order — consumers that index by position keep working; new counters
+/// are only ever *appended* (see [`ServeCore::stats_reply`]).
+pub const LEGACY_STATS_NAMES: [&str; 17] = [
+    "requests",
+    "errors",
+    "connections",
+    "protocol_errors",
+    "queries",
+    "memo_hits",
+    "memo_misses",
+    "cache_hits",
+    "cache_misses",
+    "contract_decodes",
+    "explorations",
+    "solver_queries",
+    "evictions",
+    "touches_flushed",
+    "busy_rejects",
+    "idle_closed",
+    "deadlines_exceeded",
+];
+
+/// Monotonic request/work counters — `Arc` handles into the core's
+/// [`Registry`] under `serve.*` names, minted once so the hot path never
+/// touches the registry lock. The legacy short names remain the `stats`
+/// reply's wire vocabulary (see [`LEGACY_STATS_NAMES`]).
 struct Counters {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    connections: AtomicU64,
-    protocol_errors: AtomicU64,
-    queries: AtomicU64,
-    memo_hits: AtomicU64,
-    memo_misses: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    contract_decodes: AtomicU64,
-    explorations: AtomicU64,
-    solver_queries: AtomicU64,
-    evictions: AtomicU64,
-    touches_flushed: AtomicU64,
-    busy_rejects: AtomicU64,
-    idle_closed: AtomicU64,
-    deadlines_exceeded: AtomicU64,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    connections: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    queries: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    contract_decodes: Arc<Counter>,
+    explorations: Arc<Counter>,
+    solver_queries: Arc<Counter>,
+    evictions: Arc<Counter>,
+    touches_flushed: Arc<Counter>,
+    busy_rejects: Arc<Counter>,
+    idle_closed: Arc<Counter>,
+    deadlines_exceeded: Arc<Counter>,
 }
 
 impl Counters {
-    fn bump(&self, c: &AtomicU64) -> u64 {
-        c.fetch_add(1, Ordering::Relaxed) + 1
+    fn new(reg: &Registry) -> Self {
+        Counters {
+            requests: reg.counter("serve.requests"),
+            errors: reg.counter("serve.errors"),
+            connections: reg.counter("serve.connections"),
+            protocol_errors: reg.counter("serve.protocol_errors"),
+            queries: reg.counter("serve.queries"),
+            memo_hits: reg.counter("serve.memo_hits"),
+            memo_misses: reg.counter("serve.memo_misses"),
+            cache_hits: reg.counter("serve.cache_hits"),
+            cache_misses: reg.counter("serve.cache_misses"),
+            contract_decodes: reg.counter("serve.contract_decodes"),
+            explorations: reg.counter("serve.explorations"),
+            solver_queries: reg.counter("serve.solver_queries"),
+            evictions: reg.counter("serve.evictions"),
+            touches_flushed: reg.counter("serve.touches_flushed"),
+            busy_rejects: reg.counter("serve.busy_rejects"),
+            idle_closed: reg.counter("serve.idle_closed"),
+            deadlines_exceeded: reg.counter("serve.deadlines_exceeded"),
+        }
     }
 
     fn snapshot(&self) -> Vec<(String, u64)> {
-        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        [
-            ("requests", read(&self.requests)),
-            ("errors", read(&self.errors)),
-            ("connections", read(&self.connections)),
-            ("protocol_errors", read(&self.protocol_errors)),
-            ("queries", read(&self.queries)),
-            ("memo_hits", read(&self.memo_hits)),
-            ("memo_misses", read(&self.memo_misses)),
-            ("cache_hits", read(&self.cache_hits)),
-            ("cache_misses", read(&self.cache_misses)),
-            ("contract_decodes", read(&self.contract_decodes)),
-            ("explorations", read(&self.explorations)),
-            ("solver_queries", read(&self.solver_queries)),
-            ("evictions", read(&self.evictions)),
-            ("touches_flushed", read(&self.touches_flushed)),
-            // Overload/robustness counters ride at the end so existing
-            // consumers that index by position keep working.
-            ("busy_rejects", read(&self.busy_rejects)),
-            ("idle_closed", read(&self.idle_closed)),
-            ("deadlines_exceeded", read(&self.deadlines_exceeded)),
-        ]
-        .into_iter()
-        .map(|(n, v)| (n.to_string(), v))
-        .collect()
+        LEGACY_STATS_NAMES
+            .iter()
+            .zip([
+                &self.requests,
+                &self.errors,
+                &self.connections,
+                &self.protocol_errors,
+                &self.queries,
+                &self.memo_hits,
+                &self.memo_misses,
+                &self.cache_hits,
+                &self.cache_misses,
+                &self.contract_decodes,
+                &self.explorations,
+                &self.solver_queries,
+                &self.evictions,
+                &self.touches_flushed,
+                &self.busy_rejects,
+                &self.idle_closed,
+                &self.deadlines_exceeded,
+            ])
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect()
     }
 }
 
@@ -201,6 +262,14 @@ pub struct ServeCore {
     store: ContractStore,
     cache: ContractCache,
     counters: Counters,
+    metrics: Arc<Registry>,
+    /// Per-phase request-latency histograms, indexed by [`Phase`]
+    /// (pre-minted: the request path must not take the registry lock).
+    phase_hists: [Arc<Histogram>; PHASE_NAMES.len()],
+    /// Per-opcode request-latency histograms, indexed `opcode as u8 - 1`
+    /// (pre-minted: the request path must not take the registry lock).
+    req_hists: [Arc<Histogram>; Opcode::ALL.len()],
+    active_connections: Arc<Gauge>,
 }
 
 impl ServeCore {
@@ -209,12 +278,29 @@ impl ServeCore {
         Self::with_config(store, CacheConfig::default())
     }
 
-    /// Engine over a store with explicit cache tuning.
+    /// Engine over a store with explicit cache tuning. The core mints its
+    /// own [`Registry`] and rebinds the store's series into it, so one
+    /// snapshot covers the whole request path (serve counters and phase
+    /// latencies, store get/put/decode, explorer/solver work) — and two
+    /// cores in one process keep fully isolated numbers.
     pub fn with_config(store: ContractStore, config: CacheConfig) -> Self {
+        let metrics = Arc::new(Registry::new());
+        let store = store.with_metrics(Arc::clone(&metrics));
+        let counters = Counters::new(&metrics);
+        let phase_hists =
+            std::array::from_fn(|i| metrics.histogram(&format!("serve.phase.{}", PHASE_NAMES[i])));
+        let req_hists = std::array::from_fn(|i| {
+            metrics.histogram(&format!("serve.req.{}", Opcode::ALL[i].name()))
+        });
+        let active_connections = metrics.gauge("serve.active_connections");
         ServeCore {
             store,
             cache: ContractCache::new(config),
-            counters: Counters::default(),
+            counters,
+            metrics,
+            phase_hists,
+            req_hists,
+            active_connections,
         }
     }
 
@@ -223,40 +309,76 @@ impl ServeCore {
         &self.store
     }
 
-    /// Counter snapshot (the `stats` reply body).
-    pub fn stats_reply(&self) -> StatsReply {
-        StatsReply {
-            counters: self.counters.snapshot(),
-        }
+    /// The core's metrics registry (shared with its store).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
-    /// Record an accepted connection (called by the socket server).
-    pub fn note_connection(&self) {
-        self.counters.bump(&self.counters.connections);
+    /// The full observability snapshot (the `metrics` reply body).
+    pub fn metrics_reply(&self) -> MetricsReply {
+        MetricsReply::from_snapshot(&self.metrics.snapshot())
+    }
+
+    /// The request-latency histogram for one opcode.
+    pub fn request_histogram(&self, op: Opcode) -> &Arc<Histogram> {
+        &self.req_hists[op as u8 as usize - 1]
+    }
+
+    /// The latency histogram for one request phase.
+    pub fn phase_histogram(&self, phase: Phase) -> &Arc<Histogram> {
+        &self.phase_hists[phase as usize]
+    }
+
+    /// The live-connection gauge (owned here so it appears in the
+    /// snapshot; the socket server moves it).
+    pub fn connection_gauge(&self) -> &Arc<Gauge> {
+        &self.active_connections
+    }
+
+    /// Counter snapshot (the `stats` reply body): the frozen legacy
+    /// 17-name prefix (see [`LEGACY_STATS_NAMES`]), then appended
+    /// counters — the encoding is schema-free (name, value) pairs, so
+    /// appending is wire-compatible with old clients.
+    pub fn stats_reply(&self) -> StatsReply {
+        let mut counters = self.counters.snapshot();
+        counters.push(("store_hits".to_string(), self.store.hits()));
+        counters.push(("store_misses".to_string(), self.store.misses()));
+        counters.push((
+            "active_connections".to_string(),
+            self.active_connections.get().max(0) as u64,
+        ));
+        counters.push(("trace_events".to_string(), trace::ambient_events()));
+        StatsReply { counters }
+    }
+
+    /// Record an accepted connection (called by the socket server);
+    /// returns the connection's ordinal (1-based) for lifecycle tracing.
+    pub fn note_connection(&self) -> u64 {
+        self.counters.connections.inc()
     }
 
     /// Record a frame/decode-level protocol violation (called by the
     /// socket server).
     pub fn note_protocol_error(&self) {
-        self.counters.bump(&self.counters.protocol_errors);
+        self.counters.protocol_errors.inc();
     }
 
     /// Record a connection turned away at the connection cap (called by
     /// the socket server).
     pub fn note_busy_reject(&self) {
-        self.counters.bump(&self.counters.busy_rejects);
+        self.counters.busy_rejects.inc();
     }
 
     /// Record a connection reaped by the idle timeout (called by the
     /// socket server).
     pub fn note_idle_close(&self) {
-        self.counters.bump(&self.counters.idle_closed);
+        self.counters.idle_closed.inc();
     }
 
     /// Record a request whose handling blew the configured deadline
     /// (called by the socket server).
     pub fn note_deadline_exceeded(&self) {
-        self.counters.bump(&self.counters.deadlines_exceeded);
+        self.counters.deadlines_exceeded.inc();
     }
 
     /// Write every pending cache-hit touch to the store's last-used
@@ -272,7 +394,7 @@ impl ServeCore {
         for key in self.cache.take_pending_touches(force) {
             if let Ok(true) = self.store.touch(key, RecordKind::Exploration) {
                 stamped += 1;
-                self.counters.bump(&self.counters.touches_flushed);
+                self.counters.touches_flushed.inc();
             }
         }
         stamped
@@ -281,7 +403,7 @@ impl ServeCore {
     /// Answer one decoded request. Service failures become
     /// [`Response::Error`]; this never panics on untrusted input.
     pub fn handle(&self, req: &Request) -> Response {
-        self.counters.bump(&self.counters.requests);
+        self.counters.requests.inc();
         let result = match req {
             Request::Ping => Ok(Response::Pong {
                 version: env!("CARGO_PKG_VERSION").to_string(),
@@ -295,10 +417,11 @@ impl ServeCore {
                 .provenance(nf, *level)
                 .map(|text| Response::Provenance { text }),
             Request::Stats => Ok(Response::Stats(self.stats_reply())),
+            Request::Metrics => Ok(Response::Metrics(self.metrics_reply())),
             Request::Shutdown => Ok(Response::ShuttingDown),
         };
         result.unwrap_or_else(|message| {
-            self.counters.bump(&self.counters.errors);
+            self.counters.errors.inc();
             Response::Error { message }
         })
     }
@@ -314,16 +437,16 @@ impl ServeCore {
         with_nf!(name, nf => {
             let key = store_key(&nf, level);
             if let Some(entry) = self.cache.lookup(key) {
-                self.counters.bump(&self.counters.cache_hits);
+                self.counters.cache_hits.inc();
                 self.flush(false);
                 return Ok((key, entry));
             }
-            self.counters.bump(&self.counters.cache_misses);
+            self.counters.cache_misses.inc();
             let ex = self.store.get_or_explore(&nf, level);
             if ex.cached {
-                self.counters.bump(&self.counters.contract_decodes);
+                self.counters.contract_decodes.inc();
             } else {
-                self.counters.bump(&self.counters.explorations);
+                self.counters.explorations.inc();
             }
             let nf_name = NetworkFunction::name(&nf);
             let Exploration {
@@ -352,8 +475,14 @@ impl ServeCore {
                 memo: Default::default(),
             };
             let (entry, evicted) = self.cache.insert(key, entry, weight);
-            for _ in &evicted {
-                self.counters.bump(&self.counters.evictions);
+            for victim in &evicted {
+                self.counters.evictions.inc();
+                if trace::enabled() {
+                    trace::emit(
+                        "serve.cache.evict",
+                        &[("fp", format!("{victim}").as_str().into())],
+                    );
+                }
             }
             Ok((key, entry))
         })
@@ -364,17 +493,17 @@ impl ServeCore {
     pub fn query(&self, q: &QueryRequest) -> Result<QueryReply, String> {
         let level = parse_level(q.level)?;
         let metric = parse_metric(q.metric)?;
-        self.counters.bump(&self.counters.queries);
+        self.counters.queries.inc();
         let (_, entry) = self.load(&q.nf, level)?;
         let mut pcvs = q.pcvs.clone();
         pcvs.sort_by(|a, b| a.0.cmp(&b.0));
         let memo_key: MemoKey = (q.metric, q.tag.clone(), pcvs);
         let mut e = entry.lock().expect("entry poisoned");
         if let Some(reply) = e.memo.get(&memo_key) {
-            self.counters.bump(&self.counters.memo_hits);
+            self.counters.memo_hits.inc();
             return Ok(reply.clone());
         }
-        self.counters.bump(&self.counters.memo_misses);
+        self.counters.memo_misses.inc();
         let mut env = PcvAssignment::new();
         for (name, v) in &q.pcvs {
             match e.reg.pcvs.lookup(name) {
@@ -391,7 +520,7 @@ impl ServeCore {
             }
         }
         let class = class_of(&q.tag);
-        self.counters.bump(&self.counters.solver_queries);
+        self.counters.solver_queries.inc();
         let source = if e.from_store { "warm" } else { "explored" };
         let CacheEntry {
             nf_name,

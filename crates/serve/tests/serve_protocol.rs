@@ -15,6 +15,7 @@ use bolt_nfs::{Bridge, Firewall};
 use bolt_serve::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
 use bolt_serve::{
     CacheConfig, Client, Endpoint, QueryRequest, ServeCore, Server, ServerConfig, StatsReply,
+    LEGACY_STATS_NAMES,
 };
 use bolt_store::ContractStore;
 use bolt_trace::Metric;
@@ -234,6 +235,94 @@ fn repeated_queries_are_pure_cache_hits() {
     );
     server.request_shutdown();
     server.join();
+}
+
+#[test]
+fn metrics_snapshot_spans_every_layer_over_the_socket() {
+    let (dir, store) = warm_store("metrics");
+    let server = start_server(store, &dir);
+    let ep = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
+    let mut client = Client::connect(&ep).unwrap();
+    client.ping().unwrap();
+    let q = QueryRequest {
+        nf: "bridge".to_string(),
+        level: level_tag(StackLevel::NfOnly),
+        metric: Metric::Instructions.index() as u8,
+        tag: None,
+        pcvs: vec![],
+    };
+    client.query(q.clone()).unwrap();
+    client.query(q).unwrap();
+    let m = client.metrics().unwrap();
+
+    // Serve layer: counters and per-opcode latency histograms. The
+    // metrics request itself is mid-handle when the snapshot is taken,
+    // so `serve.requests` includes it but its histograms do not yet.
+    assert_eq!(
+        m.counter("serve.requests"),
+        Some(4),
+        "ping + 2 queries + metrics"
+    );
+    assert_eq!(m.counter("serve.queries"), Some(2));
+    assert_eq!(m.counter("serve.memo_hits"), Some(1));
+    assert_eq!(m.counter("serve.contract_decodes"), Some(1));
+    assert_eq!(
+        m.counter("serve.explorations"),
+        Some(0),
+        "store was pre-warmed"
+    );
+    let hq = m.histogram("serve.req.query").expect("query histogram");
+    assert_eq!(hq.count, 2);
+    assert!(
+        hq.p50() > 0 && hq.max > 0,
+        "latencies are non-zero nanoseconds"
+    );
+    assert_eq!(m.histogram("serve.req.ping").unwrap().count, 1);
+
+    // Phase histograms: one read per frame (the metrics frame's read
+    // phase lands before its handle), one handle/write per answered
+    // request so far.
+    assert_eq!(m.histogram("serve.phase.read").unwrap().count, 4);
+    assert_eq!(m.histogram("serve.phase.handle").unwrap().count, 3);
+    assert_eq!(m.histogram("serve.phase.write").unwrap().count, 3);
+
+    // Store layer, in the same snapshot: the warm query decoded one
+    // record (a store hit + a timed get + a timed decode).
+    assert!(m.counter("store.hits").unwrap() >= 1);
+    assert_eq!(m.histogram("store.decode").unwrap().count, 1);
+    assert!(m.histogram("store.get").unwrap().count >= 1);
+
+    // The live-connection gauge sees this client.
+    assert_eq!(
+        m.gauges
+            .iter()
+            .find(|(n, _)| n == "serve.active_connections"),
+        Some(&("serve.active_connections".to_string(), 1))
+    );
+    server.request_shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_reply_keeps_the_legacy_prefix_order() {
+    let (_dir, store) = warm_store("statsorder");
+    let stats = ServeCore::new(store).stats_reply();
+    let names: Vec<&str> = stats.counters.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        &names[..LEGACY_STATS_NAMES.len()],
+        &LEGACY_STATS_NAMES,
+        "the first 17 stats counters are a frozen wire prefix"
+    );
+    assert_eq!(
+        &names[LEGACY_STATS_NAMES.len()..],
+        &[
+            "store_hits",
+            "store_misses",
+            "active_connections",
+            "trace_events"
+        ],
+        "new counters are only ever appended"
+    );
 }
 
 #[test]

@@ -35,6 +35,7 @@ use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use bolt_fault::{site, FaultPlan};
+use bolt_obs::{trace, Counter, Histogram, Registry};
 
 use crate::fingerprint::{fnv64, Fingerprint, STORE_FORMAT_VERSION};
 use crate::wire::{ByteReader, ByteWriter, DecodeError};
@@ -221,13 +222,24 @@ pub struct SweepReport {
 
 /// The persistent contract store: a directory of checksummed,
 /// fingerprint-addressed records.
+///
+/// Every store carries a [`bolt_obs::Registry`] (its own by default, so
+/// two stores in one process keep isolated numbers): `store.hits` /
+/// `store.misses` / `store.quarantined` counters plus `store.get` /
+/// `store.put` latency histograms. A host that wants the store's series
+/// in *its* registry — the serve core does — rebinds with
+/// [`ContractStore::with_metrics`]. Quarantine, corruption, and heal
+/// events additionally land in the ambient `BOLT_TRACE` sink.
 #[derive(Debug)]
 pub struct ContractStore {
     dir: PathBuf,
-    hits: AtomicU64,
-    misses: AtomicU64,
     quarantined: u64,
     fault: Option<Arc<FaultPlan>>,
+    metrics: Arc<Registry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    h_get: Arc<Histogram>,
+    h_put: Arc<Histogram>,
 }
 
 impl ContractStore {
@@ -262,19 +274,50 @@ impl ContractStore {
             // and rename — and a concurrently vanished file is fine).
             if name.starts_with('.') && name.contains(".tmp.") && path.is_file() {
                 match fs::remove_file(&path) {
-                    Ok(()) => quarantined += 1,
+                    Ok(()) => {
+                        quarantined += 1;
+                        trace::emit("store.quarantine", &[("file", name.into())]);
+                    }
                     Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                     Err(e) => return Err(e),
                 }
             }
         }
-        Ok(ContractStore {
+        let metrics = Arc::new(Registry::new());
+        let store = ContractStore {
             dir,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             quarantined,
             fault,
-        })
+            hits: metrics.counter("store.hits"),
+            misses: metrics.counter("store.misses"),
+            h_get: metrics.histogram("store.get"),
+            h_put: metrics.histogram("store.put"),
+            metrics,
+        };
+        store.metrics.counter("store.quarantined").add(quarantined);
+        Ok(store)
+    }
+
+    /// Rebind the store's metric series into `metrics` (get-or-create by
+    /// name), carrying already-accumulated values over. A server that owns
+    /// a registry calls this so one snapshot covers serve and store.
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        let hits = metrics.counter("store.hits");
+        hits.add(self.hits.get());
+        let misses = metrics.counter("store.misses");
+        misses.add(self.misses.get());
+        metrics.counter("store.quarantined").add(self.quarantined);
+        self.hits = hits;
+        self.misses = misses;
+        self.h_get = metrics.histogram("store.get");
+        self.h_put = metrics.histogram("store.put");
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry holding the store's counters and latency histograms.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// Orphaned temp files removed by [`ContractStore::open`].
@@ -289,12 +332,12 @@ impl ContractStore {
 
     /// Records served from disk since `open`.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that found no usable record since `open`.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     fn path_of(&self, fp: Fingerprint, kind: RecordKind) -> PathBuf {
@@ -308,6 +351,7 @@ impl ContractStore {
     /// [`ContractStore::sweep`]); a failed bump is ignored — it only
     /// ages the record's sweep priority, never the payload.
     pub fn get(&self, fp: Fingerprint, kind: RecordKind) -> Option<Vec<u8>> {
+        let _span = self.h_get.span();
         let path = self.path_of(fp, kind);
         // Injected read failure: the same shape as a vanished or
         // unreadable file — a miss the caller re-derives and re-puts.
@@ -316,22 +360,35 @@ impl ContractStore {
             .as_deref()
             .is_some_and(|f| f.fires(site::STORE_READ))
         {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
-        let res = fs::read(&path).ok().and_then(|bytes| {
+        let bytes = fs::read(&path).ok();
+        let present = bytes.is_some();
+        let res = bytes.and_then(|bytes| {
             verify_record(&bytes, Some(fp), Some(kind))
                 .ok()
                 .map(|(_, payload)| payload.to_vec())
         });
         match res {
             Some(payload) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 let _ = bump_stamp(&path);
                 Some(payload)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
+                if present {
+                    // The file was there but failed verification — damage
+                    // the next put of this key will heal.
+                    trace::emit(
+                        "store.corrupt",
+                        &[
+                            ("fp", format!("{fp}").as_str().into()),
+                            ("kind", kind.file_tag().into()),
+                        ],
+                    );
+                }
                 None
             }
         }
@@ -361,6 +418,7 @@ impl ContractStore {
         payload: &[u8],
     ) -> io::Result<()> {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let _span = self.h_put.span();
         let mut w = ByteWriter::new();
         w.raw(MAGIC);
         w.u16(STORE_FORMAT_VERSION);
@@ -412,6 +470,17 @@ impl ContractStore {
         // file is orphaned (open() quarantines it later).
         if let Some(e) = fault.and_then(|f| f.io_fault(site::STORE_RENAME, "crash before rename")) {
             return Err(e);
+        }
+        // A put that replaces a header-skewed record is a heal — worth a
+        // trace line (the cheap stamp probe only runs when tracing is on).
+        if trace::enabled() && final_path.exists() && read_stamp(&final_path).is_none() {
+            trace::emit(
+                "store.heal",
+                &[
+                    ("fp", format!("{fp}").as_str().into()),
+                    ("kind", kind.file_tag().into()),
+                ],
+            );
         }
         match fs::rename(&tmp, &final_path) {
             Ok(()) => Ok(()),

@@ -31,6 +31,8 @@
 
 use std::collections::BTreeSet;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use bolt::core::store::{level_tag, store_key, RecordKind, StoreExt};
 use bolt::core::{ClassSpec, InputClass, NfContract, Pipeline};
@@ -39,8 +41,8 @@ use bolt::nfs::nat::{AllocKind, NatConfig};
 use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
 use bolt::see::StackLevel;
 use bolt::serve::{
-    CacheConfig, Client, ClientConfig, DiffRequest, Endpoint, QueryRequest, ServeCore, Server,
-    ServerConfig,
+    CacheConfig, Client, ClientConfig, DiffRequest, Endpoint, MetricsReply, QueryRequest,
+    ServeCore, Server, ServerConfig,
 };
 use bolt::trace::Metric;
 use bolt::{ContractStore, NetworkFunction};
@@ -117,10 +119,10 @@ fn usage() -> ! {
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR | --remote EP]\n\
          \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
          \x20 serve    [--socket PATH] [--tcp ADDR] [--cache-budget BYTES] [--max-conns N]\n\
-         \x20          [--idle-timeout SECS] [--deadline SECS] [--store DIR]\n\
+         \x20          [--idle-timeout SECS] [--deadline SECS] [--metrics-text PATH] [--store DIR]\n\
          \x20 provenance --nf NAME [--level L] [--store DIR | --remote EP]\n\
          \x20 ping     --remote EP [--timeout SECS]   (exit 0 = alive, 1 = not)\n\
-         \x20 stats    --remote EP\n\
+         \x20 stats    --remote EP [--histograms | --json]\n\
          \x20 shutdown --remote EP\n\
          \n\
          NAME   ∈ {{{}}}\n\
@@ -185,6 +187,9 @@ struct Opts {
     max_conns: Option<usize>,
     idle_timeout: Option<u64>,
     deadline: Option<u64>,
+    histograms: bool,
+    json: bool,
+    metrics_text: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -221,6 +226,9 @@ fn parse_opts(args: &[String]) -> Opts {
                 );
             }
             "--remote" => o.remote = Some(val("--remote")),
+            "--histograms" => o.histograms = true,
+            "--json" => o.json = true,
+            "--metrics-text" => o.metrics_text = Some(val("--metrics-text")),
             "--socket" => o.socket = Some(val("--socket")),
             "--tcp" => o.tcp = Some(val("--tcp")),
             "--cache-budget" => {
@@ -691,8 +699,33 @@ fn cmd_serve(o: &Opts) {
     if let Some(a) = server.tcp_addr() {
         println!("  tcp         : tcp:{a}");
     }
+    // Prometheus textfile exporter: rewrite the exposition once a
+    // second while serving, and once more after the drain so the final
+    // file reflects every request answered.
+    let exporter = o.metrics_text.as_ref().map(|path| {
+        let path = std::path::PathBuf::from(path);
+        println!("  metrics     : {} (Prometheus text)", path.display());
+        let core = Arc::clone(server.core());
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || loop {
+            write_metrics_text(&path, &core);
+            for _ in 0..10 {
+                if flag.load(Ordering::SeqCst) {
+                    write_metrics_text(&path, &core);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        });
+        (stop, handle)
+    });
     println!("stop with: bolt_cli shutdown --remote <endpoint>");
     let core = server.join();
+    if let Some((stop, handle)) = exporter {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
     let stats = core.stats_reply();
     let read = |n: &str| stats.get(n).unwrap_or(0);
     println!(
@@ -753,12 +786,124 @@ fn cmd_ping(o: &Opts) {
     }
 }
 
+/// Atomically (tmp + rename) write the server's Prometheus text
+/// exposition; best-effort, a failed write never takes the server down.
+fn write_metrics_text(path: &std::path::Path, core: &ServeCore) {
+    let text = core.metrics().snapshot().to_prometheus();
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Render nanoseconds for humans: `640ns`, `21.5µs`, `3.2ms`, `1.08s`.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// `hits / (hits + misses)` as a percentage, when anything was counted.
+fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| 100.0 * hits as f64 / total as f64)
+}
+
+/// The one-snapshot observability view: counters and gauges, derived
+/// hit rates, and a percentile table over every latency histogram.
+fn print_metrics_table(m: &MetricsReply) {
+    println!("counters:");
+    for (name, value) in &m.counters {
+        println!("  {name:<28} {value}");
+    }
+    for (name, value) in &m.gauges {
+        println!("  {name:<28} {value}  (gauge)");
+    }
+    let rate_rows = [
+        ("contract cache", "serve.cache_hits", "serve.cache_misses"),
+        ("query memo", "serve.memo_hits", "serve.memo_misses"),
+        ("store records", "store.hits", "store.misses"),
+    ];
+    println!("hit rates:");
+    for (label, h, miss) in rate_rows {
+        match hit_rate(m.counter(h).unwrap_or(0), m.counter(miss).unwrap_or(0)) {
+            Some(pct) => println!("  {label:<28} {pct:.1}%"),
+            None => println!("  {label:<28} -"),
+        }
+    }
+    println!(
+        "latency:\n  {:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "histogram", "count", "p50", "p90", "p99", "max", "mean"
+    );
+    for (name, h) in &m.histograms {
+        println!(
+            "  {name:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            h.count,
+            fmt_ns(h.p50()),
+            fmt_ns(h.p90()),
+            fmt_ns(h.p99()),
+            fmt_ns(h.max),
+            fmt_ns(h.mean() as u64),
+        );
+    }
+}
+
+/// The same snapshot as a JSON object (stable key order: the reply's).
+fn metrics_json(m: &MetricsReply) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in m.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out += &format!("{sep}\n    \"{}\": {v}", esc(name));
+    }
+    out += "\n  },\n  \"gauges\": {";
+    for (i, (name, v)) in m.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out += &format!("{sep}\n    \"{}\": {v}", esc(name));
+    }
+    out += "\n  },\n  \"histograms\": {";
+    for (i, (name, h)) in m.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out += &format!(
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"mean\": {:.1}}}",
+            esc(name),
+            h.count,
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.mean(),
+        );
+    }
+    out += "\n  }\n}\n";
+    out
+}
+
 fn cmd_stats(o: &Opts) {
     let ep = o
         .remote
         .as_deref()
         .unwrap_or_else(|| die("stats needs --remote ENDPOINT (counters live in the server)"));
-    match remote_client(o, ep).stats() {
+    let mut client = remote_client(o, ep);
+    if o.histograms || o.json {
+        // The full observability snapshot (metrics opcode): counters,
+        // gauges, and latency histograms in one consistent reply.
+        let m = client.metrics().unwrap_or_else(|e| die(&e.to_string()));
+        if o.json {
+            print!("{}", metrics_json(&m));
+        } else {
+            print_metrics_table(&m);
+        }
+        return;
+    }
+    match client.stats() {
         Ok(stats) => {
             for (name, value) in &stats.counters {
                 println!("{name:>16} : {value}");

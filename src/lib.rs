@@ -55,6 +55,7 @@ pub use bolt_expr as expr;
 pub use bolt_fault as fault;
 pub use bolt_hw as hw;
 pub use bolt_nfs as nfs;
+pub use bolt_obs as obs;
 pub use bolt_serve as serve;
 pub use bolt_solver as solver;
 pub use bolt_store as store;
