@@ -24,13 +24,21 @@
 //! identical (the parallel committer replays the sequential schedule),
 //! and prints the seq-vs-parallel wall-clock ratio for the trajectory
 //! log — the only machine-dependent number in the output.
+//!
+//! The harness also plans the 3-stage chain (`Pipeline::parallelize`)
+//! and records the planned-vs-sequential *predicted* cycle contract —
+//! max-of-group + merge against the sequential sum — a fully
+//! machine-independent trajectory point. Results land in
+//! `BENCH_chain.json` at the workspace root.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use bolt_bench::table_fmt::print_table;
 use bolt_core::chain::ChainReport;
 use bolt_core::nf::ambient_threads;
-use bolt_core::{encode_contract, Pipeline};
+use bolt_core::{encode_contract, encode_plan, Pipeline};
+use bolt_expr::PcvAssignment;
 use bolt_nfs::{Firewall, StaticRouter};
 use dpdk_sim::StackLevel;
 
@@ -87,6 +95,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut par_rows = Vec::new();
+    let mut scen_json = Vec::new();
     let mut cold_work = 0u64;
     for s in &scenarios {
         // Warm-up + counter collection (counters are identical per run
@@ -176,6 +185,15 @@ fn main() {
             sv.solver_queries.to_string(),
             reduction,
         ]);
+        scen_json.push(format!(
+            "{{\"scenario\": \"{}\", \"source\": \"{source}\", \"paths\": {}, \
+             \"ms_per_chain\": {:.3}, \"requests\": {}, \"queries\": {}}}",
+            s.name,
+            rep.contract.paths.len(),
+            elapsed * 1e3,
+            sv.checks_requested,
+            sv.solver_queries
+        ));
     }
     print_table(
         "chain_micro — store-aware parallel chain composition",
@@ -222,5 +240,78 @@ fn main() {
             "warm-chain check passed: 0 stage explorations, 0 fold steps composed, \
              0 compose solver queries"
         );
+    }
+
+    // Parallelization plan point: the 3-stage chain holds a provably
+    // commuting firewall pair, so the planned cycle contract
+    // (max-of-group + merge) must beat the sequential sum. Predicted
+    // cycles are machine-independent; the plan itself must be identical
+    // at any worker count.
+    let env = PcvAssignment::new();
+    let mut plan_rows = Vec::new();
+    let mut plan_json = Vec::new();
+    for level in [StackLevel::NfOnly, StackLevel::FullStack] {
+        let name = format!("fw->fw->rt/{level:?}");
+        let rep = fw_fw_rt()
+            .threads(threads)
+            .parallelize(level)
+            .expect("non-empty chain");
+        let plan = rep.plan.as_ref().expect("parallelize attaches a plan");
+        if threads > 1 && !store_active {
+            let seq = fw_fw_rt().threads(1).parallelize(level).unwrap();
+            assert_eq!(
+                encode_plan(seq.plan.as_ref().unwrap()),
+                encode_plan(plan),
+                "{name}: plan diverged between 1 and {threads} threads"
+            );
+        }
+        let seq_cy = plan.sequential_cycles(&env);
+        let par_cy = plan.parallel_cycles(&env);
+        assert!(
+            par_cy < seq_cy,
+            "{name}: planned contract ({par_cy}cy) must beat the sequential sum ({seq_cy}cy)"
+        );
+        plan_rows.push(vec![
+            name.clone(),
+            plan.groups_display(),
+            seq_cy.to_string(),
+            par_cy.to_string(),
+            format!("{:.2}x", plan.predicted_speedup()),
+        ]);
+        plan_json.push(format!(
+            "{{\"scenario\": \"{name}\", \"groups\": \"{}\", \"sequential_cycles\": {seq_cy}, \
+             \"parallel_cycles\": {par_cy}, \"predicted_speedup\": {:.4}}}",
+            plan.groups_display(),
+            plan.predicted_speedup()
+        ));
+    }
+    print_table(
+        "chain_micro — parallelization plan (predicted cycle contract)",
+        &["scenario", "plan", "seq cy", "par cy", "speedup"],
+        &plan_rows,
+    );
+    println!(
+        "predicted cycles come from the contract (worst path per stage, merge\n\
+         from the hardware cost table) — machine-independent, unlike ms/chain"
+    );
+
+    let json = format!(
+        "{{\n\"threads\": {threads},\n\"scenarios\": [\n  {}\n],\n\"plan\": [\n  {}\n]\n}}\n",
+        scen_json.join(",\n  "),
+        plan_json.join(",\n  ")
+    );
+    // Land the trajectory file at the workspace root (cargo runs benches
+    // with the package dir as cwd) so successive runs overwrite one spot.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .join("BENCH_chain.json");
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            f.write_all(json.as_bytes()).unwrap();
+            println!("wrote {}", path.display());
+        }
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
 }

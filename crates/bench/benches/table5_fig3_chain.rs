@@ -5,7 +5,7 @@
 //! The measured bars replay mixed traffic through the concrete chain.
 
 use bolt_bench::table_fmt::{human, print_table};
-use bolt_core::{compose, naive_add, ClassSpec, InputClass, Pipeline};
+use bolt_core::{naive_add, ClassSpec, Composer, InputClass, Pipeline};
 use bolt_distiller::NfRunner;
 use bolt_expr::PcvAssignment;
 use bolt_nfs::{firewall, static_router, Firewall, StaticRouter};
@@ -26,7 +26,7 @@ fn main() {
     let mut rt = stage_contracts.pop().unwrap();
     let mut fw = stage_contracts.pop().unwrap();
     let solver = Solver::default();
-    let mut chain = compose(&fw, &rt, &solver);
+    let mut chain = Composer::new(&solver).compose(&fw, &rt);
     let env = PcvAssignment::new();
 
     let classes = [

@@ -1,4 +1,4 @@
-//! NF-chain composition (§3.4).
+//! NF-chain composition (§3.4) and contract-proven parallelization.
 //!
 //! Two contracts compose by pairing execution paths: an upstream path
 //! that forwards is paired with every downstream path whose constraints
@@ -13,9 +13,14 @@
 //! into a joint pool, remapping every symbol to a fresh one prefixed by
 //! the NF's name.
 //!
+//! The public front door is [`crate::composer::Composer`]; the free
+//! functions [`compose`]/[`compose_with`] and the associated
+//! [`Pipeline::compose_all`]/[`Pipeline::compose_all_with`] remain as
+//! deprecated parity shims.
+//!
 //! # Parallel composition
 //!
-//! With `threads > 1`, [`compose_with`] fans the upstream×downstream
+//! With `threads > 1`, composition fans the upstream×downstream
 //! cross-product out over a worker pool in the same
 //! speculate-then-commit shape as the parallel path explorer: each
 //! worker composes one upstream path against every downstream candidate
@@ -38,22 +43,47 @@
 //! the stack level, so a warm chain run decodes the final composed
 //! contract straight from disk — zero stage explorations, zero compose
 //! solver queries ([`ChainReport`] counts both).
+//!
+//! # Proving order-independence
+//!
+//! Many service-chain stages are order-independent, and for those the
+//! chain's cycle contract need not be a *sum*: stages that provably
+//! commute can run side by side, making the group's latency the *max*
+//! of its members plus a merge cost. The proof obligation is
+//! `compose(A,B) ≡ compose(B,A)` on paths, verdicts, and metrics, and
+//! [`stages_commute`] discharges it by comparing *canonical signatures*
+//! of the two composed contracts: per-path, the verdict, the sorted
+//! tags, the three cost polynomials, and every constraint and packet
+//! field rendered with symbols renamed by stage identity (not by
+//! compose position) and commutative operands sorted — so the two
+//! operand orders, which intern different `nf1.`/`nf2.` symbol spaces
+//! in different orders, become literally comparable strings. The check
+//! is conservative: a `true` is a proof that the composed behaviour is
+//! identical either way; a `false` merely keeps the pair sequential.
+//!
+//! [`Pipeline::parallelize`] runs that check pair-by-pair to partition
+//! a chain into sequential groups of provably-parallel stages, emitting
+//! a [`ChainPlan`] whose predicted cycle contract per group is
+//! `max(members) + merge_cost` (merge cost from
+//! [`bolt_hw::CostTable::parallel_merge_cycles`]).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use bolt_expr::{PcvAssignment, PerfExpr, Term, TermPool, TermRef};
+use bolt_expr::{BinOp, PcvAssignment, PerfExpr, Term, TermPool, TermRef, UnOp};
 use bolt_see::symbolic::PacketField;
 use bolt_see::NfVerdict;
 use bolt_solver::{Solver, SolverCache, SolverCtx, SolverStats};
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
+use crate::composer::Composer;
 use crate::contract::{NfContract, PathContract};
 use crate::nf::AbstractNf;
-use crate::store::{compose_key, Fingerprint, StoreExt};
+use crate::store::{compose_key, level_name, Fingerprint};
 
 /// Rebuild a [`PacketField`] around a migrated symbol term.
 fn field_of(pool: &TermPool, offset: u64, bytes: u8, term: TermRef) -> Option<PacketField> {
@@ -386,21 +416,37 @@ fn remap_body(body: PaBody, map: &[TermRef]) -> PaBody {
 /// Both NFs must have been registered against the *same*
 /// [`nf_lib::registry::DsRegistry`]
 /// (or be stateless) so that PCV ids agree in the summed expressions.
-///
-/// Runs sequentially with a private [`SolverCache`]; use
-/// [`compose_with`] to share a cache across a chain fold and to fan the
-/// path cross-product out over worker threads.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Composer::new(&solver).compose(first, second)`"
+)]
 pub fn compose(first: &NfContract, second: &NfContract, solver: &Solver) -> NfContract {
     let mut cache = SolverCache::new();
-    compose_with(first, second, solver, &mut cache, 1)
+    compose_pair(first, second, solver, &mut cache, 1)
 }
 
-/// [`compose`] with an explicit feasibility cache (shared across the
-/// fold steps of a chain, and the carrier of the compose-side
-/// [`SolverStats`]) and worker-thread count. Output — composed path
-/// order, constraint terms, verdicts, metrics, and the cache's stats
-/// counters — is bit-identical at any thread count.
+/// [`compose`] with an explicit feasibility cache and worker-thread
+/// count.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Composer::new(&solver).cache(cache).threads(n).compose(first, second)`"
+)]
 pub fn compose_with(
+    first: &NfContract,
+    second: &NfContract,
+    solver: &Solver,
+    cache: &mut SolverCache,
+    threads: usize,
+) -> NfContract {
+    compose_pair(first, second, solver, cache, threads)
+}
+
+/// The one true pairwise composition: shared by the [`Composer`] front
+/// door and the deprecated [`compose`]/[`compose_with`] shims, so shim
+/// parity is by construction. Output — composed path order, constraint
+/// terms, verdicts, metrics, and the cache's stats counters — is
+/// bit-identical at any thread count.
+pub(crate) fn compose_pair(
     first: &NfContract,
     second: &NfContract,
     solver: &Solver,
@@ -588,14 +634,339 @@ fn speculate_pa(
     (pool, body)
 }
 
+// ---------------------------------------------------------------------------
+// Commutativity: canonical signatures of composed contracts.
+// ---------------------------------------------------------------------------
+
+/// Whether swapping a binary operator's operands preserves its value.
+fn op_is_commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+    )
+}
+
+/// Render a term into a canonical string: symbols pass through `rename`
+/// (mapping the compose-position `nf1.`/`nf2.` prefixes back to stable
+/// stage identities) and commutative operands are emitted in sorted
+/// order, so two pools that interned the same expression from different
+/// directions produce identical strings.
+fn canon_term(pool: &TermPool, t: TermRef, rename: &dyn Fn(&str) -> String) -> String {
+    match *pool.get(t) {
+        Term::Const { value, width } => format!("{value}:w{}", width.bits()),
+        Term::Sym { id, width } => format!("{}:w{}", rename(pool.sym_name(id)), width.bits()),
+        Term::Unop { op: UnOp::Not, a } => format!("(! {})", canon_term(pool, a, rename)),
+        Term::Binop { op, a, b } => {
+            let mut x = canon_term(pool, a, rename);
+            let mut y = canon_term(pool, b, rename);
+            if op_is_commutative(op) && y < x {
+                std::mem::swap(&mut x, &mut y);
+            }
+            format!("({x} {} {y})", op.symbol())
+        }
+        Term::Ite { c, t: tt, e } => format!(
+            "(ite {} {} {})",
+            canon_term(pool, c, rename),
+            canon_term(pool, tt, rename),
+            canon_term(pool, e, rename)
+        ),
+        Term::Zext { a, width } => {
+            format!("(zext{} {})", width.bits(), canon_term(pool, a, rename))
+        }
+        Term::Trunc { a, width } => {
+            format!("(trunc{} {})", width.bits(), canon_term(pool, a, rename))
+        }
+    }
+}
+
+/// Canonical rendering of a cost polynomial (monomials are already kept
+/// sorted internally, so this is deterministic).
+fn canon_perf(p: &PerfExpr) -> String {
+    p.iter()
+        .map(|(m, c)| {
+            let vars: Vec<u32> = m.vars().iter().map(|v| v.0).collect();
+            format!("{c}x{vars:?}")
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Canonical signature of one composed path: verdict, sorted tags, the
+/// three cost polynomials, and the sorted canonical constraint / packet
+/// field / final-packet renderings. Path order and term-intern order do
+/// not participate.
+fn path_signature(pool: &TermPool, p: &PathContract, rename: &dyn Fn(&str) -> String) -> String {
+    let mut tags: Vec<&str> = p.tags.clone();
+    tags.sort_unstable();
+    let mut cs: Vec<String> = p
+        .constraints
+        .iter()
+        .map(|&t| canon_term(pool, t, rename))
+        .collect();
+    cs.sort();
+    let mut pf: Vec<String> = p
+        .packet_fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{}+{}={}",
+                f.offset,
+                f.bytes,
+                canon_term(pool, f.term, rename)
+            )
+        })
+        .collect();
+    pf.sort();
+    let mut fpk: Vec<String> = p
+        .final_packet
+        .iter()
+        .map(|&(o, b, t)| format!("{o}+{b}={}", canon_term(pool, t, rename)))
+        .collect();
+    fpk.sort();
+    format!(
+        "v={:?} tags={tags:?} ic={} ma={} cy={} cs={cs:?} pf={pf:?} fp={fpk:?}",
+        p.verdict,
+        canon_perf(&p.perf[Metric::Instructions.index()]),
+        canon_perf(&p.perf[Metric::MemAccesses.index()]),
+        canon_perf(&p.perf[Metric::Cycles.index()]),
+    )
+}
+
+/// The canonical signature of a composed contract: the sorted multiset
+/// of its path signatures, with the compose-position symbol prefixes
+/// (`nf1.`, `nf2.`) renamed to the given stage identity labels. Two
+/// compositions of the same two stages in opposite orders commute iff
+/// their signatures are equal.
+pub(crate) fn contract_signature(
+    c: &NfContract,
+    first_label: &str,
+    second_label: &str,
+) -> Vec<String> {
+    let rename = |name: &str| -> String {
+        if let Some(rest) = name.strip_prefix("nf1.") {
+            format!("{first_label}.{rest}")
+        } else if let Some(rest) = name.strip_prefix("nf2.") {
+            format!("{second_label}.{rest}")
+        } else {
+            name.to_string()
+        }
+    };
+    let mut sigs: Vec<String> = c
+        .paths
+        .iter()
+        .map(|p| path_signature(&c.pool, p, &rename))
+        .collect();
+    sigs.sort();
+    sigs
+}
+
+/// Prove (or fail to prove) that two stages are order-independent:
+/// compose them both ways and compare canonical signatures (see the
+/// module docs). `label_a`/`label_b` are stable stage identities — they
+/// must be equal exactly when the two stages are interchangeable (same
+/// name *and* same configuration), which is what lets a pair of
+/// identical stages commute trivially while two same-named stages with
+/// different configs stay distinguishable.
+///
+/// The check is conservative and the contract is one-sided: `true`
+/// proves `compose(a,b)` and `compose(b,a)` describe identical
+/// behaviour (paths, verdicts, metrics, packet effects); `false` only
+/// means the proof failed and the pair must stay sequential. Drops
+/// break commutativity with any non-identical neighbour by
+/// construction — an upstream drop path stands alone, while the same
+/// drop downstream is crossed with every upstream path — which is the
+/// conservative answer: reordering around a dropper changes what the
+/// other stage observes.
+pub fn stages_commute(
+    a: &NfContract,
+    b: &NfContract,
+    label_a: &str,
+    label_b: &str,
+    solver: &Solver,
+    cache: &mut SolverCache,
+    threads: usize,
+) -> bool {
+    let ab = compose_pair(a, b, solver, cache, threads);
+    let ba = compose_pair(b, a, solver, cache, threads);
+    contract_signature(&ab, label_a, label_b) == contract_signature(&ba, label_b, label_a)
+}
+
+// ---------------------------------------------------------------------------
+// Chain plans.
+// ---------------------------------------------------------------------------
+
+/// The outcome of one pairwise commutativity check the planner ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommuteWitness {
+    /// Chain index of the earlier stage.
+    pub left: u32,
+    /// Chain index of the later stage.
+    pub right: u32,
+    /// Whether `compose(left,right) ≡ compose(right,left)` was proven.
+    pub commutes: bool,
+    /// The two stages had identical store keys (same NF, same config):
+    /// commutativity holds trivially, no composition probe was run.
+    pub identical: bool,
+}
+
+/// A contract-proven parallelization plan for one chain: consecutive
+/// groups of stages whose members provably commute pairwise, so each
+/// group can execute side by side and the chain's cycle contract drops
+/// from the *sum* of stage worst cases to, per group,
+/// `max(members) + merge_cost`.
+///
+/// The semantic contract of the chain is untouched — groups are proven
+/// order-independent, so the sequential composed contract (which the
+/// speculate/commit worker pool already produces bit-identically at any
+/// thread count) remains the truth for paths/verdicts/metrics; the plan
+/// re-interprets *latency* only.
+///
+/// Plans are store-cacheable ([`crate::store::plan_key`] over every
+/// stage fingerprint, so any stage-config change invalidates) and
+/// byte-stable: [`crate::codec::encode_plan`] of the same chain is
+/// identical at any worker-thread count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainPlan {
+    /// Stage names, upstream first.
+    pub names: Vec<String>,
+    /// Stack level the plan was proven at.
+    pub level: StackLevel,
+    /// Consecutive groups of chain indices; members of one group
+    /// provably commute pairwise. Singleton groups are stages kept
+    /// sequential.
+    pub groups: Vec<Vec<u32>>,
+    /// Every pairwise check the planner ran, in check order.
+    pub witnesses: Vec<CommuteWitness>,
+    /// Per-stage worst-case cycle polynomial (the stage's worst path at
+    /// all-zero PCVs; evaluation-based, since `max` of polynomials is
+    /// not a polynomial).
+    pub stage_cycles: Vec<PerfExpr>,
+    /// Per-group merge cost in cycles
+    /// ([`bolt_hw::CostTable::parallel_merge_cycles`] of the group
+    /// width; 0 for singletons).
+    pub merge_cycles: Vec<u64>,
+}
+
+impl ChainPlan {
+    /// Number of stages the plan covers.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the plan covers no stages.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Whether any group actually runs stages side by side.
+    pub fn is_parallel(&self) -> bool {
+        self.groups.iter().any(|g| g.len() > 1)
+    }
+
+    /// Width of the widest group.
+    pub fn widest_group(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The sequential cycle contract: the sum of stage worst cases
+    /// under `env` (the naive chain latency the plan improves on).
+    pub fn sequential_cycles(&self, env: &PcvAssignment) -> u64 {
+        self.stage_cycles.iter().map(|e| e.eval(env)).sum()
+    }
+
+    /// The parallelized cycle contract: per group, the max of its
+    /// members' worst cases plus the group's merge cost, summed across
+    /// groups.
+    pub fn parallel_cycles(&self, env: &PcvAssignment) -> u64 {
+        self.groups
+            .iter()
+            .zip(&self.merge_cycles)
+            .map(|(g, &merge)| {
+                let worst = g
+                    .iter()
+                    .map(|&i| self.stage_cycles[i as usize].eval(env))
+                    .max()
+                    .unwrap_or(0);
+                worst + merge
+            })
+            .sum()
+    }
+
+    /// Predicted sequential/parallel speedup at all-zero PCVs. 1.0 when
+    /// nothing parallelizes (or the chain predicts zero cycles).
+    pub fn predicted_speedup(&self) -> f64 {
+        let env = PcvAssignment::new();
+        let seq = self.sequential_cycles(&env);
+        let par = self.parallel_cycles(&env);
+        if par == 0 {
+            1.0
+        } else {
+            seq as f64 / par as f64
+        }
+    }
+
+    /// Render the group structure, e.g.
+    /// `[firewall | firewall] -> [static_router]`.
+    pub fn groups_display(&self) -> String {
+        self.groups
+            .iter()
+            .map(|g| {
+                let members: Vec<&str> =
+                    g.iter().map(|&i| self.names[i as usize].as_str()).collect();
+                format!("[{}]", members.join(" | "))
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Human rendering of one witness, with stage names resolved.
+    pub fn describe_witness(&self, w: &CommuteWitness) -> String {
+        let verdict = if w.identical {
+            "commute (identical configs)"
+        } else if w.commutes {
+            "commute (signatures equal both orders)"
+        } else {
+            "order-dependent (kept sequential)"
+        };
+        format!(
+            "{}[{}] x {}[{}] — {verdict}",
+            self.names[w.left as usize], w.left, self.names[w.right as usize], w.right
+        )
+    }
+}
+
+impl fmt::Display for ChainPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let env = PcvAssignment::new();
+        writeln!(f, "plan       : {}", self.groups_display())?;
+        write!(
+            f,
+            "predicted  : {}cy sequential -> {}cy parallel ({:.2}x, widest group {}, merge {}cy)",
+            self.sequential_cycles(&env),
+            self.parallel_cycles(&env),
+            self.predicted_speedup(),
+            self.widest_group(),
+            self.merge_cycles.iter().sum::<u64>(),
+        )
+    }
+}
+
 /// What one [`Pipeline`] chain run did: the composed contract plus the
 /// work provenance the warm-chain CI gate asserts on.
 #[derive(Debug)]
 pub struct ChainReport {
+    /// Stage names, upstream first.
+    pub names: Vec<String>,
+    /// Stack level the chain was composed at.
+    pub level: StackLevel,
+    /// The chain's composed-contract store key (the left fold of
+    /// [`crate::store::compose_key`] over the stage keys).
+    pub key: Fingerprint,
     /// The composed contract of the whole chain.
     pub contract: NfContract,
     /// Compose-side solver counters, accumulated across every fold step
-    /// that composed fresh this run. All-zero on a fully warm run.
+    /// (and, when planning ran, every commutativity probe) that composed
+    /// fresh this run. All-zero on a fully warm run.
     pub solver: SolverStats,
     /// Fold steps composed fresh (pairwise cross-product solves ran).
     pub steps_composed: usize,
@@ -608,15 +979,159 @@ pub struct ChainReport {
     pub stages_explored: usize,
     /// Stage contracts decoded from stored explorations.
     pub stages_cached: usize,
+    /// The parallelization plan, when the run was asked to plan
+    /// ([`Pipeline::parallelize`] or
+    /// [`crate::composer::Composer::parallelize`]).
+    pub plan: Option<ChainPlan>,
+    /// Whether the plan was decoded from a stored plan record (no
+    /// commutativity probes ran).
+    pub plan_cached: bool,
 }
 
 impl ChainReport {
     /// Whether the run was fully solver-free: every fold step decoded
-    /// from the store, no stage explored, no compose solver request.
+    /// from the store, no stage explored, no compose solver request
+    /// (and, if planning ran, the plan record was warm too).
     pub fn fully_cached(&self) -> bool {
         self.steps_composed == 0
             && self.stages_explored == 0
             && self.solver == SolverStats::default()
+    }
+
+    /// Machine-readable rendering of the report (one JSON object; the
+    /// `--json` form of `bolt_cli chain`). Stable field set; plan
+    /// predictions are evaluated at all-zero PCVs.
+    pub fn to_json(&self) -> String {
+        let names = self
+            .names
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let plan = match &self.plan {
+            None => "null".to_string(),
+            Some(p) => {
+                let env = PcvAssignment::new();
+                let groups = p
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "[{}]",
+                            g.iter()
+                                .map(|i| i.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let witnesses = p
+                    .witnesses
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"left\": {}, \"right\": {}, \"commutes\": {}, \"identical\": {}}}",
+                            w.left, w.right, w.commutes, w.identical
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let stage_cycles = p
+                    .stage_cycles
+                    .iter()
+                    .map(|e| e.eval(&env).to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let merges = p
+                    .merge_cycles
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"groups\": [{groups}], \"witnesses\": [{witnesses}], \
+                     \"stage_cycles\": [{stage_cycles}], \"merge_cycles\": [{merges}], \
+                     \"sequential_cycles\": {}, \"parallel_cycles\": {}, \
+                     \"predicted_speedup\": {:.4}, \"cached\": {}}}",
+                    p.sequential_cycles(&env),
+                    p.parallel_cycles(&env),
+                    p.predicted_speedup(),
+                    self.plan_cached
+                )
+            }
+        };
+        format!(
+            "{{\"chain\": [{names}], \"level\": \"{}\", \"key\": \"{}\", \"paths\": {}, \
+             \"stages_explored\": {}, \"stages_cached\": {}, \"steps_composed\": {}, \
+             \"steps_cached\": {}, \"solver\": {{\"checks_requested\": {}, \
+             \"solver_queries\": {}}}, \"fully_cached\": {}, \"plan\": {plan}}}",
+            level_name(self.level),
+            self.key,
+            self.contract.paths.len(),
+            self.stages_explored,
+            self.stages_cached,
+            self.steps_composed,
+            self.steps_cached,
+            self.solver.checks_requested,
+            self.solver.solver_queries,
+            self.fully_cached(),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl fmt::Display for ChainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chain {} @ {} — {} paths  key {}",
+            self.names.join(" -> "),
+            level_name(self.level),
+            self.contract.paths.len(),
+            self.key
+        )?;
+        writeln!(
+            f,
+            "  stages     : {} explored, {} from store",
+            self.stages_explored, self.stages_cached
+        )?;
+        writeln!(
+            f,
+            "  fold steps : {} composed, {} from store",
+            self.steps_composed, self.steps_cached
+        )?;
+        write!(
+            f,
+            "  compose    : {} solver requests, {} full queries{}",
+            self.solver.checks_requested,
+            self.solver.solver_queries,
+            if self.fully_cached() {
+                " (fully warm: solver-free)"
+            } else {
+                ""
+            }
+        )?;
+        if let Some(plan) = &self.plan {
+            let env = PcvAssignment::new();
+            write!(
+                f,
+                "\n  plan       : {}{}\n  predicted  : {}cy sequential -> {}cy parallel ({:.2}x)",
+                plan.groups_display(),
+                if self.plan_cached {
+                    " (from store)"
+                } else {
+                    ""
+                },
+                plan.sequential_cycles(&env),
+                plan.parallel_cycles(&env),
+                plan.predicted_speedup(),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -640,11 +1155,15 @@ impl ChainReport {
 /// composed record (keyed by [`crate::store::compose_key`] over the two
 /// operand fingerprints), so a warm chain run is fully solver-free —
 /// [`Pipeline::report`] returns the [`ChainReport`] that proves it.
+///
+/// [`Pipeline::parallelize`] additionally partitions the chain into
+/// groups of provably order-independent stages and attaches the
+/// [`ChainPlan`] (itself a store record) to the report.
 #[derive(Default)]
 pub struct Pipeline<'s> {
-    stages: Vec<Box<dyn AbstractNf>>,
-    store: Option<&'s bolt_store::ContractStore>,
-    threads: Option<usize>,
+    pub(crate) stages: Vec<Box<dyn AbstractNf>>,
+    pub(crate) store: Option<&'s bolt_store::ContractStore>,
+    pub(crate) threads: Option<usize>,
 }
 
 impl<'s> Pipeline<'s> {
@@ -664,7 +1183,7 @@ impl<'s> Pipeline<'s> {
     }
 
     /// Attach a persistent contract store consulted for every stage
-    /// exploration and every composed fold step.
+    /// exploration, every composed fold step, and every chain plan.
     pub fn with_store(mut self, store: &'s bolt_store::ContractStore) -> Self {
         self.store = Some(store);
         self
@@ -672,7 +1191,7 @@ impl<'s> Pipeline<'s> {
 
     /// Explore stages and compose path pairs on `n` worker threads
     /// (1 = sequential). Overrides the ambient `BOLT_THREADS`; stage and
-    /// composed contracts are bit-identical at any count.
+    /// composed contracts — and plans — are bit-identical at any count.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
         self
@@ -706,7 +1225,7 @@ impl<'s> Pipeline<'s> {
         Some(key)
     }
 
-    fn resolved_threads(&self) -> usize {
+    pub(crate) fn resolved_threads(&self) -> usize {
         self.threads.unwrap_or_else(crate::nf::ambient_threads)
     }
 
@@ -733,7 +1252,7 @@ impl<'s> Pipeline<'s> {
     }
 
     /// The composed contract of the whole chain: stage contracts are
-    /// [`compose`]d pairwise left to right, discarding solver-infeasible
+    /// composed pairwise left to right, discarding solver-infeasible
     /// path pairs (which is what masks downstream slow paths the upstream
     /// NFs filter out). Store-aware and parallel — this is
     /// [`Pipeline::report`] without the provenance counters. `None` for
@@ -752,119 +1271,53 @@ impl<'s> Pipeline<'s> {
     /// the configured worker-thread count, and the result is persisted
     /// for the next run. Stage contracts are built lazily, so a fully
     /// warm chain run touches nothing but the final composed record.
+    ///
+    /// Equivalent to [`crate::composer::Composer::chain`] with this
+    /// pipeline's store/threads settings; build a [`Composer`] directly
+    /// to share a solver cache across chains or to enable planning.
     pub fn report(&self, level: StackLevel) -> Option<ChainReport> {
-        if self.stages.is_empty() {
-            return None;
-        }
-        let threads = self.resolved_threads();
-        let env;
-        let store = match self.store {
-            Some(s) => Some(s),
-            None => {
-                env = crate::store::env_store();
-                env.as_ref()
-            }
-        };
         let solver = Solver::default();
-        let mut cache = SolverCache::new();
-        let (mut stages_explored, mut stages_cached) = (0usize, 0usize);
-        let (mut steps_composed, mut steps_cached) = (0usize, 0usize);
-        let stage_contract = |i: usize, explored: &mut usize, cached: &mut usize| match store {
-            Some(st) => {
-                let (c, was_cached) = self.stages[i].explore_contract_via_store(level, st, threads);
-                if was_cached {
-                    *cached += 1;
-                } else {
-                    *explored += 1;
-                }
-                c
-            }
-            None => {
-                *explored += 1;
-                self.stages[i].explore_contract_threads(level, threads)
-            }
-        };
-        let keys: Vec<Fingerprint> = self.stages.iter().map(|s| s.store_key(level)).collect();
-        let names = self.names();
-        // `cks[i]` addresses the composed contract of stages `0..=i`
-        // (`cks[0]` is stage 0's own key; nothing composed is stored
-        // under it).
-        let mut cks: Vec<Fingerprint> = Vec::with_capacity(keys.len());
-        cks.push(keys[0]);
-        for i in 1..keys.len() {
-            cks.push(compose_key(cks[i - 1], keys[i], level));
-        }
-        // Resume after the deepest stored composed prefix: a fully warm
-        // run decodes exactly one record (the whole chain's) and a
-        // partially warm one re-uses the longest memoized prefix.
-        // `acc == None` means "the accumulator is still stage 0,
-        // unmaterialised" — a warm fold never materialises it at all.
-        let mut acc: Option<NfContract> = None;
-        let mut start = 1;
-        if let Some(st) = store {
-            for i in (1..self.stages.len()).rev() {
-                if let Some(c) = st.get_composed(cks[i]) {
-                    steps_cached += 1;
-                    acc = Some(c);
-                    start = i + 1;
-                    break;
-                }
-            }
-        }
-        for i in start..self.stages.len() {
-            let left = match acc.take() {
-                Some(c) => c,
-                None => stage_contract(0, &mut stages_explored, &mut stages_cached),
-            };
-            let right = stage_contract(i, &mut stages_explored, &mut stages_cached);
-            let composed = compose_with(&left, &right, &solver, &mut cache, threads);
-            if let Some(st) = store {
-                // A failed write costs only the next run's warm start.
-                let _ = st.put_composed(cks[i], &names[..=i].join("+"), level, &composed);
-            }
-            steps_composed += 1;
-            acc = Some(composed);
-        }
-        let contract = match acc {
-            Some(c) => c,
-            // Single-stage chain: the contract is the stage contract.
-            None => stage_contract(0, &mut stages_explored, &mut stages_cached),
-        };
-        Some(ChainReport {
-            contract,
-            solver: cache.stats,
-            steps_composed,
-            steps_cached,
-            stages_explored,
-            stages_cached,
-        })
+        Composer::new(&solver).chain(self, level)
+    }
+
+    /// [`Pipeline::report`] with the parallelization planner enabled:
+    /// the returned report additionally carries the [`ChainPlan`] —
+    /// groups of provably-commuting stages, the commutativity
+    /// witnesses, and the predicted `max + merge` cycle contract. With
+    /// a store attached the plan is itself a cached record (keyed over
+    /// every stage fingerprint, so any stage-config change invalidates
+    /// it); a fully warm parallelized run is still solver-free.
+    pub fn parallelize(&self, level: StackLevel) -> Option<ChainReport> {
+        let solver = Solver::default();
+        Composer::new(&solver).parallelize(true).chain(self, level)
     }
 
     /// Compose pre-built stage contracts left to right, sharing one
     /// feasibility cache across the fold, on the ambient `BOLT_THREADS`
-    /// worker count. No store involvement (the contracts are already in
-    /// hand); use [`Pipeline::report`] for the memoized path.
+    /// worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Composer::new(&solver).compose_all(contracts)`"
+    )]
     pub fn compose_all(contracts: Vec<NfContract>) -> Option<NfContract> {
         let solver = Solver::default();
         let mut cache = SolverCache::new();
-        Self::compose_all_with(contracts, &solver, &mut cache, crate::nf::ambient_threads())
+        fold_contracts(contracts, &solver, &mut cache, crate::nf::ambient_threads())
     }
 
-    /// [`Pipeline::compose_all`] with an explicit solver, shared cache
-    /// (whose [`SolverCache::stats`] accumulate the compose-side
-    /// counters across every fold step), and worker-thread count.
+    /// [`Pipeline::compose_all`] with an explicit solver, shared cache,
+    /// and worker-thread count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Composer::new(&solver).cache(cache).threads(n).compose_all(contracts)`"
+    )]
     pub fn compose_all_with(
         contracts: Vec<NfContract>,
         solver: &Solver,
         cache: &mut SolverCache,
         threads: usize,
     ) -> Option<NfContract> {
-        let mut it = contracts.into_iter();
-        let mut acc = it.next()?;
-        for next in it {
-            acc = compose_with(&acc, &next, solver, cache, threads);
-        }
-        Some(acc)
+        fold_contracts(contracts, solver, cache, threads)
     }
 
     /// The naive prediction: the sum over stages of each stage's
@@ -876,8 +1329,9 @@ impl<'s> Pipeline<'s> {
     }
 
     /// Naive addition over pre-built stage contracts (no re-exploration —
-    /// pair with [`Pipeline::contracts`] + [`Pipeline::compose_all`] when
-    /// both the composed contract and the baseline are needed).
+    /// pair with [`Pipeline::contracts`] +
+    /// [`crate::composer::Composer::compose_all`] when both the composed
+    /// contract and the baseline are needed).
     pub fn naive_add_of(contracts: &[NfContract], metric: Metric, env: &PcvAssignment) -> u64 {
         contracts
             .iter()
@@ -890,6 +1344,23 @@ impl<'s> Pipeline<'s> {
             })
             .sum()
     }
+}
+
+/// Fold pre-built contracts left to right through one shared cache: the
+/// single body behind [`crate::composer::Composer::compose_all`] and the
+/// deprecated [`Pipeline::compose_all`]/[`Pipeline::compose_all_with`].
+pub(crate) fn fold_contracts(
+    contracts: Vec<NfContract>,
+    solver: &Solver,
+    cache: &mut SolverCache,
+    threads: usize,
+) -> Option<NfContract> {
+    let mut it = contracts.into_iter();
+    let mut acc = it.next()?;
+    for next in it {
+        acc = compose_pair(&acc, &next, solver, cache, threads);
+    }
+    Some(acc)
 }
 
 /// The naive prediction for a chain: the sum of each NF's individual
@@ -960,10 +1431,39 @@ mod tests {
         (a, b)
     }
 
+    /// A stateless always-forward marking filter over one field: reads
+    /// `offset`, branches, always `Forward(0)`, never writes. Two such
+    /// filters over disjoint fields are genuinely order-independent.
+    fn mark_filter(
+        offset: u64,
+        hit_tag: &'static str,
+        miss_tag: &'static str,
+    ) -> impl Fn(&mut bolt_see::SymbolicCtx<'_>) {
+        move |ctx| {
+            let pkt = ctx.packet(64);
+            let v = ctx.load(pkt, offset, 1);
+            if ctx.branch_eq_imm(v, 0x42, Width::W8) {
+                ctx.tag(hit_tag);
+            } else {
+                ctx.tag(miss_tag);
+                let w = ctx.load(pkt, offset + 1, 1);
+                let z = ctx.lit(1, Width::W8);
+                let _ = ctx.add(w, z);
+            }
+            ctx.verdict(NfVerdict::Forward(0));
+        }
+    }
+
+    fn filter_contract(body: impl Fn(&mut bolt_see::SymbolicCtx<'_>)) -> NfContract {
+        let reg = nf_lib::registry::DsRegistry::new();
+        crate::contract::generate(&reg, Explorer::new().explore(|ctx| body(ctx)))
+    }
+
     #[test]
     fn infeasible_pairs_are_masked() {
         let (a, b) = toy_pair();
-        let chain = compose(&a, &b, &Solver::default());
+        let solver = Solver::default();
+        let chain = Composer::new(&solver).compose(&a, &b);
         // up-drop alone, up-valid×down-fast; up-valid×down-slow is
         // infeasible (the upstream always writes 0x7).
         assert_eq!(chain.paths.len(), 2);
@@ -980,11 +1480,11 @@ mod tests {
         let (a, b) = toy_pair();
         let solver = Solver::default();
         let mut seq_cache = SolverCache::new();
-        let seq = compose_with(&a, &b, &solver, &mut seq_cache, 1);
+        let seq = compose_pair(&a, &b, &solver, &mut seq_cache, 1);
         let seq_bytes = encode_contract(&seq);
         for threads in [2, 3, 8] {
             let mut cache = SolverCache::new();
-            let par = compose_with(&a, &b, &solver, &mut cache, threads);
+            let par = compose_pair(&a, &b, &solver, &mut cache, threads);
             assert_eq!(
                 encode_contract(&par),
                 seq_bytes,
@@ -998,15 +1498,49 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shims_are_parity_exact() {
+        let (a, b) = toy_pair();
+        let solver = Solver::default();
+        let via_composer = {
+            let mut c = Composer::new(&solver);
+            encode_contract(&c.compose(&a, &b))
+        };
+        #[allow(deprecated)]
+        let via_compose = encode_contract(&compose(&a, &b, &solver));
+        #[allow(deprecated)]
+        let via_compose_with = {
+            let mut cache = SolverCache::new();
+            encode_contract(&compose_with(&a, &b, &solver, &mut cache, 2))
+        };
+        assert_eq!(via_compose, via_composer, "compose() shim drifted");
+        assert_eq!(
+            via_compose_with, via_composer,
+            "compose_with() shim drifted"
+        );
+        let (a2, b2) = toy_pair();
+        let via_composer_all = {
+            let mut c = Composer::new(&solver);
+            encode_contract(&c.compose_all(vec![a2, b2]).unwrap())
+        };
+        let (a3, b3) = toy_pair();
+        #[allow(deprecated)]
+        let via_compose_all = encode_contract(&Pipeline::compose_all(vec![a3, b3]).unwrap());
+        assert_eq!(
+            via_compose_all, via_composer_all,
+            "compose_all() shim drifted"
+        );
+    }
+
+    #[test]
     fn shared_cache_reuses_verdicts_across_fold_steps() {
         let (a, b) = toy_pair();
         let solver = Solver::default();
         // Composing the same pair twice through one cache must answer
         // the second step's identical probes from the memo.
         let mut cache = SolverCache::new();
-        let _ = compose_with(&a, &b, &solver, &mut cache, 1);
+        let _ = compose_pair(&a, &b, &solver, &mut cache, 1);
         let after_first = cache.stats;
-        let _ = compose_with(&a, &b, &solver, &mut cache, 1);
+        let _ = compose_pair(&a, &b, &solver, &mut cache, 1);
         assert!(
             cache.stats.checks_requested > after_first.checks_requested,
             "second step must issue requests"
@@ -1021,18 +1555,101 @@ mod tests {
     fn compose_all_threads_a_single_cache() {
         let (a, b) = toy_pair();
         let solver = Solver::default();
-        let mut cache = SolverCache::new();
-        let c = Pipeline::compose_all_with(vec![a, b], &solver, &mut cache, 1).unwrap();
+        let mut composer = Composer::new(&solver);
+        let c = composer.compose_all(vec![a, b]).unwrap();
         assert_eq!(c.paths.len(), 2);
-        assert!(cache.stats.checks_requested > 0, "fold reports its work");
+        assert!(
+            composer.stats().checks_requested > 0,
+            "fold reports its work"
+        );
     }
 
     #[test]
     fn empty_and_single_compose_all() {
-        assert!(Pipeline::compose_all(Vec::new()).is_none());
+        let solver = Solver::default();
+        assert!(Composer::new(&solver).compose_all(Vec::new()).is_none());
         let (a, _) = toy_pair();
         let n = a.paths.len();
-        let only = Pipeline::compose_all(vec![a]).unwrap();
+        let only = Composer::new(&solver).compose_all(vec![a]).unwrap();
         assert_eq!(only.paths.len(), n);
+    }
+
+    #[test]
+    fn independent_stateless_filters_commute() {
+        // Disjoint fields (20/21 vs 30/31), always Forward(0), no
+        // writes: the canonical signatures must match in both orders.
+        let f = filter_contract(mark_filter(20, "f-hit", "f-miss"));
+        let g = filter_contract(mark_filter(30, "g-hit", "g-miss"));
+        let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        assert!(
+            stages_commute(&f, &g, "f", "g", &solver, &mut cache, 1),
+            "independent stateless filters must provably commute"
+        );
+        // And the signature machinery agrees with itself at any thread
+        // count (compose is bit-identical, signatures are derived).
+        let mut cache8 = SolverCache::new();
+        assert!(stages_commute(&f, &g, "f", "g", &solver, &mut cache8, 8));
+    }
+
+    #[test]
+    fn writer_before_reader_does_not_commute() {
+        // The toy upstream writes byte 30; the toy downstream branches
+        // on byte 30. Order visibly matters (one order masks down-slow,
+        // the other cannot), so the proof must fail.
+        let (a, b) = toy_pair();
+        let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        assert!(
+            !stages_commute(&a, &b, "up", "down", &solver, &mut cache, 1),
+            "a writer and a reader of the same field must stay sequential"
+        );
+    }
+
+    #[test]
+    fn drop_capable_stage_does_not_commute_with_a_filter() {
+        // The upstream toy drops non-0x0800 packets. Against an
+        // independent always-forward filter, an upstream drop path
+        // stands alone in one order but is crossed with the filter's
+        // paths in the other — conservatively order-dependent.
+        let (a, _) = toy_pair();
+        let g = filter_contract(mark_filter(40, "g-hit", "g-miss"));
+        let solver = Solver::default();
+        let mut cache = SolverCache::new();
+        assert!(!stages_commute(&a, &g, "up", "g", &solver, &mut cache, 1));
+    }
+
+    #[test]
+    fn chain_plan_cycle_arithmetic() {
+        let mut e1 = PerfExpr::constant(400);
+        e1.add_assign(&PerfExpr::constant(0));
+        let plan = ChainPlan {
+            names: vec!["a".into(), "b".into(), "c".into()],
+            level: StackLevel::NfOnly,
+            groups: vec![vec![0, 1], vec![2]],
+            witnesses: vec![CommuteWitness {
+                left: 0,
+                right: 1,
+                commutes: true,
+                identical: false,
+            }],
+            stage_cycles: vec![
+                PerfExpr::constant(400),
+                PerfExpr::constant(300),
+                PerfExpr::constant(500),
+            ],
+            merge_cycles: vec![208, 0],
+        };
+        let env = PcvAssignment::new();
+        assert_eq!(plan.sequential_cycles(&env), 1200);
+        // max(400, 300) + 208, then 500 + 0.
+        assert_eq!(plan.parallel_cycles(&env), 1108);
+        assert!(plan.is_parallel());
+        assert_eq!(plan.widest_group(), 2);
+        assert!(plan.predicted_speedup() > 1.0);
+        assert_eq!(plan.groups_display(), "[a | b] -> [c]");
+        let shown = plan.to_string();
+        assert!(shown.contains("1200cy sequential"));
+        assert!(shown.contains("1108cy parallel"));
     }
 }

@@ -1,5 +1,5 @@
 //! Binary codec for [`NfContract`]s (the contract store's contract
-//! records).
+//! records) and [`ChainPlan`]s (its plan records).
 //!
 //! A contract record is self-contained: the term pool the constraints
 //! live in, then one entry per path — constraints, tags, verdict, the
@@ -9,6 +9,12 @@
 //! bit-identically to the one that was encoded, and remains a *live*
 //! contract: class queries can keep interning instantiated constraints
 //! into its pool.
+//!
+//! A plan record carries no terms — group indices, witnesses, and
+//! evaluated-form cost polynomials only — and encoding is a pure
+//! function of the plan's fields, so the same chain encodes to the same
+//! bytes at any worker-thread count (the chain-determinism CI gate
+//! diffs exactly these bytes).
 
 use bolt_store::codec::{
     read_perf, read_pool, read_term_ref, write_perf, write_pool, write_term_ref, MAX_COUNT,
@@ -18,7 +24,9 @@ use bolt_store::{ByteReader, ByteWriter, DecodeError};
 use bolt_expr::PerfExpr;
 use bolt_see::codec as see_codec;
 
+use crate::chain::{ChainPlan, CommuteWitness};
 use crate::contract::{NfContract, PathContract};
+use crate::store::{level_from_tag, level_tag};
 
 /// Encode a contract.
 pub fn encode_contract(c: &NfContract) -> Vec<u8> {
@@ -77,6 +85,103 @@ pub fn decode_contract(bytes: &[u8]) -> Result<NfContract, DecodeError> {
     }
     r.expect_end()?;
     Ok(NfContract { pool, paths })
+}
+
+/// Encode a chain-parallelization plan.
+pub fn encode_plan(p: &ChainPlan) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(level_tag(p.level));
+    w.varint(p.names.len() as u64);
+    for n in &p.names {
+        w.str(n);
+    }
+    w.varint(p.groups.len() as u64);
+    for g in &p.groups {
+        w.varint(g.len() as u64);
+        for &i in g {
+            w.varint(i as u64);
+        }
+    }
+    w.varint(p.witnesses.len() as u64);
+    for wit in &p.witnesses {
+        w.varint(wit.left as u64);
+        w.varint(wit.right as u64);
+        w.bool(wit.commutes);
+        w.bool(wit.identical);
+    }
+    for e in &p.stage_cycles {
+        write_perf(&mut w, e);
+    }
+    for &m in &p.merge_cycles {
+        w.varint(m);
+    }
+    w.into_bytes()
+}
+
+/// Decode a chain-parallelization plan. Fails (never panics) on corrupt
+/// input.
+pub fn decode_plan(bytes: &[u8]) -> Result<ChainPlan, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let level = level_from_tag(r.u8()?).ok_or(DecodeError::Malformed("unknown stack-level tag"))?;
+    let n_stages = r.count(MAX_COUNT)?;
+    let mut names = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        names.push(r.str()?.to_string());
+    }
+    let n_groups = r.count(MAX_COUNT)?;
+    if n_groups > n_stages {
+        return Err(DecodeError::Malformed("more groups than stages"));
+    }
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut covered = 0usize;
+    for _ in 0..n_groups {
+        let n = r.count(MAX_COUNT)?;
+        let mut g = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = r.varint()?;
+            if i >= n_stages as u64 {
+                return Err(DecodeError::Malformed("group index out of range"));
+            }
+            g.push(i as u32);
+        }
+        covered += n;
+        groups.push(g);
+    }
+    if covered != n_stages {
+        return Err(DecodeError::Malformed("groups must partition the chain"));
+    }
+    let n_wit = r.count(MAX_COUNT)?;
+    let mut witnesses = Vec::with_capacity(n_wit);
+    for _ in 0..n_wit {
+        let left = r.varint()?;
+        let right = r.varint()?;
+        if left >= n_stages as u64 || right >= n_stages as u64 {
+            return Err(DecodeError::Malformed("witness index out of range"));
+        }
+        witnesses.push(CommuteWitness {
+            left: left as u32,
+            right: right as u32,
+            commutes: r.bool()?,
+            identical: r.bool()?,
+        });
+    }
+    let mut stage_cycles = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        stage_cycles.push(read_perf(&mut r)?);
+    }
+    let mut merge_cycles = Vec::with_capacity(groups.len());
+    for _ in 0..groups.len() {
+        merge_cycles.push(r.varint()?);
+    }
+    r.expect_end()?;
+    Ok(ChainPlan {
+        names,
+        level,
+        groups,
+        witnesses,
+        stage_cycles,
+        merge_cycles,
+    })
 }
 
 #[cfg(test)]
@@ -181,5 +286,58 @@ mod tests {
         let mut padded = bytes;
         padded.push(7);
         assert!(decode_contract(&padded).is_err());
+    }
+
+    fn toy_plan() -> ChainPlan {
+        ChainPlan {
+            names: vec!["firewall".into(), "firewall".into(), "router".into()],
+            level: dpdk_sim::StackLevel::FullStack,
+            groups: vec![vec![0, 1], vec![2]],
+            witnesses: vec![
+                CommuteWitness {
+                    left: 0,
+                    right: 1,
+                    commutes: true,
+                    identical: true,
+                },
+                CommuteWitness {
+                    left: 1,
+                    right: 2,
+                    commutes: false,
+                    identical: false,
+                },
+            ],
+            stage_cycles: vec![
+                PerfExpr::constant(410),
+                PerfExpr::constant(410),
+                PerfExpr::constant(620),
+            ],
+            merge_cycles: vec![208, 0],
+        }
+    }
+
+    #[test]
+    fn plan_round_trip_is_bit_identical() {
+        let plan = toy_plan();
+        let bytes = encode_plan(&plan);
+        let decoded = decode_plan(&bytes).expect("round trip");
+        assert_eq!(decoded, plan);
+        assert_eq!(encode_plan(&decoded), bytes);
+    }
+
+    #[test]
+    fn corrupt_plan_bytes_are_rejected() {
+        let bytes = encode_plan(&toy_plan());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_plan(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes.clone();
+        padded.push(9);
+        assert!(decode_plan(&padded).is_err());
+        // A plan whose groups do not partition the chain must not decode.
+        let mut mutilated = toy_plan();
+        mutilated.groups = vec![vec![0, 1]];
+        mutilated.merge_cycles = vec![208];
+        assert!(decode_plan(&encode_plan(&mutilated)).is_err());
     }
 }

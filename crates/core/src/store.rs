@@ -46,6 +46,14 @@ pub fn level_from_tag(tag: u8) -> Option<StackLevel> {
     }
 }
 
+/// Human name of a stack level (the CLI's `--level` vocabulary).
+pub fn level_name(level: StackLevel) -> &'static str {
+    match level {
+        StackLevel::NfOnly => "nf-only",
+        StackLevel::FullStack => "full-stack",
+    }
+}
+
 /// The store key of one (NF descriptor, stack level) exploration: name,
 /// symbolic packet length, every config field the descriptor feeds
 /// through [`NetworkFunction::fingerprint_config`], and the level — all
@@ -80,6 +88,26 @@ pub fn compose_key(first: Fingerprint, second: Fingerprint, level: StackLevel) -
     fp.str(env!("CARGO_PKG_VERSION"));
     fp.u128(first.0);
     fp.u128(second.0);
+    fp.u8(level_tag(level));
+    fp.finish()
+}
+
+/// The store key of one chain-parallelization plan: *every* stage
+/// fingerprint in chain order, plus the stack level, under the store
+/// format version (seeded into the hasher) and the crate version.
+/// Unlike [`compose_key`]'s left fold, the plan key hashes the stage
+/// list flat — the plan's groups can span any stages, so any stage
+/// configuration change anywhere in the chain must invalidate it (the
+/// changed stage key changes this key, and the stale plan simply
+/// misses).
+pub fn plan_key(stage_keys: &[Fingerprint], level: StackLevel) -> Fingerprint {
+    let mut fp = Fingerprinter::new();
+    fp.str("bolt.plan");
+    fp.str(env!("CARGO_PKG_VERSION"));
+    fp.u64(stage_keys.len() as u64);
+    for k in stage_keys {
+        fp.u128(k.0);
+    }
     fp.u8(level_tag(level));
     fp.finish()
 }
@@ -147,6 +175,22 @@ pub trait StoreExt {
         chain_name: &str,
         level: StackLevel,
         contract: &NfContract,
+    ) -> io::Result<()>;
+
+    /// Fetch and decode a stored chain-parallelization plan (keyed by
+    /// [`plan_key`]). A hit skips every commutativity probe the planner
+    /// would otherwise run.
+    fn get_plan(&self, key: Fingerprint) -> Option<crate::chain::ChainPlan>;
+
+    /// Encode and persist a chain-parallelization plan. `chain_name` is
+    /// the human-readable stage chain; the record's path count slot
+    /// holds the plan's group count.
+    fn put_plan(
+        &self,
+        key: Fingerprint,
+        chain_name: &str,
+        level: StackLevel,
+        plan: &crate::chain::ChainPlan,
     ) -> io::Result<()>;
 
     /// Header-only metadata of a record: the cheap pass (no payload
@@ -269,6 +313,29 @@ impl StoreExt for ContractStore {
         decode_contract(&payload).ok()
     }
 
+    fn get_plan(&self, key: Fingerprint) -> Option<crate::chain::ChainPlan> {
+        let payload = self.get(key, RecordKind::Plan)?;
+        crate::codec::decode_plan(&payload).ok()
+    }
+
+    fn put_plan(
+        &self,
+        key: Fingerprint,
+        chain_name: &str,
+        level: StackLevel,
+        plan: &crate::chain::ChainPlan,
+    ) -> io::Result<()> {
+        let payload = crate::codec::encode_plan(plan);
+        self.put(
+            key,
+            RecordKind::Plan,
+            chain_name,
+            level_tag(level),
+            plan.groups.len() as u64,
+            &payload,
+        )
+    }
+
     fn peek(&self, key: Fingerprint, kind: RecordKind) -> Option<RecordHeader> {
         self.header(key, kind)
     }
@@ -302,6 +369,23 @@ mod tests {
             assert_eq!(level_from_tag(level_tag(level)), Some(level));
         }
         assert_eq!(level_from_tag(9), None);
+    }
+
+    #[test]
+    fn plan_keys_cover_every_stage_and_the_level() {
+        let ks = [Fingerprint(1), Fingerprint(2), Fingerprint(3)];
+        let k = plan_key(&ks, StackLevel::NfOnly);
+        assert_eq!(k, plan_key(&ks, StackLevel::NfOnly), "stable");
+        assert_ne!(k, plan_key(&ks, StackLevel::FullStack), "level");
+        let reordered = [Fingerprint(2), Fingerprint(1), Fingerprint(3)];
+        assert_ne!(k, plan_key(&reordered, StackLevel::NfOnly), "order");
+        let changed = [Fingerprint(1), Fingerprint(2), Fingerprint(4)];
+        assert_ne!(
+            k,
+            plan_key(&changed, StackLevel::NfOnly),
+            "any stage-config change must invalidate the plan"
+        );
+        assert_ne!(k, plan_key(&ks[..2], StackLevel::NfOnly), "length");
     }
 
     #[test]

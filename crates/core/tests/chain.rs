@@ -2,7 +2,7 @@
 //! the [`Pipeline`] abstraction.
 
 use bolt_core::nf::NetworkFunction;
-use bolt_core::{compose, naive_add, NfContract, Pipeline};
+use bolt_core::{naive_add, Composer, NfContract, Pipeline};
 use bolt_expr::PcvAssignment;
 use bolt_nfs::{Firewall, StaticRouter};
 use bolt_see::NfVerdict;
@@ -112,7 +112,7 @@ fn longer_chains_compose_pairwise() {
     // composes left-to-right, i.e. (fw ∘ rt) ∘ rt.
     let (fw, rt, fw_rt) = chain();
     let solver = Solver::default();
-    let three = compose(&fw_rt, &rt, &solver);
+    let three = Composer::new(&solver).compose(&fw_rt, &rt);
     let env = PcvAssignment::new();
     assert!(!three.paths.is_empty());
     for p in &three.paths {

@@ -30,7 +30,7 @@ struct TermMeta {
 }
 
 /// Arena + intern table for [`Term`]s, plus the symbol name registry.
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct TermPool {
     terms: Vec<Term>,
     meta: Vec<TermMeta>,
@@ -39,6 +39,26 @@ pub struct TermPool {
     slots: Vec<u32>,
     sym_names: Vec<String>,
     sym_widths: Vec<Width>,
+    /// Process-unique pool identity (never serialized). Caches that
+    /// memoize per-[`TermRef`] facts key on `(uid, index)` so entries
+    /// from one pool can never be mistaken for another pool's.
+    uid: u64,
+}
+
+/// Monotone source for [`TermPool::uid`].
+static POOL_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl Default for TermPool {
+    fn default() -> Self {
+        TermPool {
+            terms: Vec::new(),
+            meta: Vec::new(),
+            slots: Vec::new(),
+            sym_names: Vec::new(),
+            sym_widths: Vec::new(),
+            uid: POOL_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 /// Deterministic node hash (stable across processes — memoised results
@@ -103,6 +123,14 @@ impl TermPool {
     /// Number of symbols created so far.
     pub fn sym_count(&self) -> usize {
         self.sym_names.len()
+    }
+
+    /// Process-unique identity of this pool instance. Stable for the
+    /// pool's lifetime, fresh for every construction (including decoded
+    /// pools), never serialized — interpretations of a [`TermRef`] are
+    /// only comparable between calls that observed the same `uid`.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Metadata for a new node (children are already interned, so their

@@ -87,6 +87,27 @@ impl CostTable {
     pub fn class_cost(&self, class: InstrClass) -> f64 {
         self.per_class[class.index()]
     }
+
+    /// Cycles to merge the results of `branches` NF executions that ran
+    /// in parallel on sibling cores (the join step of a parallelized
+    /// chain group): one cross-core coherence transfer for the verdict
+    /// line of the *slowest* branch — the earlier finishers' lines are
+    /// fetched while the merge core is still waiting, so only the
+    /// critical-path transfer is charged at full memory latency — plus,
+    /// per branch, the load, compare-and-branch, and ALU combine that
+    /// fold its verdict and packet deltas into the merged result.
+    ///
+    /// Zero for a single branch: a group of one is just the stage itself
+    /// and needs no merge.
+    pub fn parallel_merge_cycles(&self, branches: usize) -> u64 {
+        if branches <= 1 {
+            return 0;
+        }
+        let per_branch = self.class_cost(InstrClass::Load)
+            + self.class_cost(InstrClass::Branch)
+            + self.class_cost(InstrClass::Alu);
+        (self.mem_latency + branches as f64 * per_branch).ceil() as u64
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +128,23 @@ mod tests {
         }
         assert!(cons.mem_latency >= test.mem_latency);
         assert!(cons.l1_hit >= test.l1_hit);
+    }
+
+    #[test]
+    fn merge_cost_is_monotone_and_zero_for_singletons() {
+        for table in [CostTable::conservative(), CostTable::testbed()] {
+            assert_eq!(table.parallel_merge_cycles(0), 0);
+            assert_eq!(table.parallel_merge_cycles(1), 0);
+            let mut prev = 0;
+            for n in 2..=8 {
+                let c = table.parallel_merge_cycles(n);
+                assert!(c > prev, "merge cost must grow with the fan-in");
+                prev = c;
+            }
+            // One coherence transfer dominates: merging must stay far
+            // cheaper than re-running a memory-touching stage.
+            assert!(table.parallel_merge_cycles(2) < 2 * table.mem_latency as u64);
+        }
     }
 
     #[test]

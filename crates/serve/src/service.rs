@@ -655,6 +655,7 @@ impl ServeCore {
                 RecordKind::Exploration => "exploration",
                 RecordKind::Contract => "contract",
                 RecordKind::Composed => "composed",
+                RecordKind::Plan => "plan",
             };
             out.push_str(&format!(
                 "{:>14} {:>10} {kind:>11} {:>6} {:>9}  {}\n",

@@ -815,16 +815,27 @@ impl Solver {
 
 /// Shared feasibility caches for one exploration / composition session:
 /// an exact-constraint-list memo, a per-atom satisfiability cache, and a
-/// bounded model cache for witness reuse. All entries key on interned
-/// [`TermRef`]s, so the cache is only meaningful with the pool it was
-/// built against.
+/// bounded model cache for witness reuse. Memo entries key on
+/// pool-independent *content hashes* (structure, widths, constants,
+/// symbol ids and names — see `term_content_hash`), so one cache can
+/// safely serve probes against several [`TermPool`]s: two terms share a
+/// key only when they are structurally identical and bind the same
+/// symbols, in which case their verdicts (and atom witnesses) coincide.
+/// Raw `TermRef` indices are never used as keys — they are meaningless
+/// outside the pool that interned them, and reusing them across pools
+/// once served stale verdicts when a planner probed pair orders through
+/// the same cache a chain fold was using.
 #[derive(Debug, Default)]
 pub struct SolverCache {
-    /// Ordered constraint list (raw term indices) → feasibility verdict.
-    list_memo: HashMap<Box<[u32]>, bool>,
-    /// Atom → witness satisfying the atom alone (`None`: no usable
-    /// witness — the atom alone was Unsat or Unknown).
-    atom_memo: HashMap<u32, Option<Witness>>,
+    /// Ordered constraint list (content hashes) → feasibility verdict.
+    list_memo: HashMap<Box<[u64]>, bool>,
+    /// Atom content hash → witness satisfying the atom alone (`None`:
+    /// no usable witness — the atom alone was Unsat or Unknown).
+    atom_memo: HashMap<u64, Option<Witness>>,
+    /// Content-hash memo: `(pool uid, term index)` → hash. Sound because
+    /// pools are append-only (an interned term's content never changes)
+    /// and uids are process-unique.
+    term_hashes: HashMap<(u64, u32), u64>,
     /// Recently discovered models, reused to answer satisfiable probes.
     models: Vec<CachedModel>,
     /// Monotone insertion stamp (eviction tie-breaker: oldest loses).
@@ -881,6 +892,66 @@ impl SolverCache {
         self.models[i] = entry;
         self.stats.model_evictions += 1;
     }
+}
+
+/// Pool-independent content hash of a term: a deterministic FNV-1a fold
+/// over the node kind, widths, constant values, symbol ids *and* names,
+/// and (recursively) child hashes, memoised per `(pool uid, index)` in
+/// `memo`. Two terms hash equal only when they are structurally
+/// identical and bind identically-numbered, identically-named symbols —
+/// exactly the condition under which feasibility verdicts and cached
+/// atom witnesses (which map raw [`SymId`]s) transfer between pools.
+fn term_content_hash(pool: &TermPool, memo: &mut HashMap<(u64, u32), u64>, t: TermRef) -> u64 {
+    let key = (pool.uid(), t.index() as u32);
+    if let Some(&h) = memo.get(&key) {
+        return h;
+    }
+    let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(0x0100_0000_01b3);
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    match *pool.get(t) {
+        Term::Const { value, width } => {
+            h = mix(h, 1);
+            h = mix(h, value);
+            h = mix(h, width.bits() as u64);
+        }
+        Term::Sym { id, width } => {
+            h = mix(h, 2);
+            h = mix(h, id as u64);
+            h = mix(h, width.bits() as u64);
+            for b in pool.sym_name(id).bytes() {
+                h = mix(h, b as u64);
+            }
+        }
+        Term::Unop { op, a } => {
+            h = mix(h, 3);
+            h = mix(h, op as u64);
+            h = mix(h, term_content_hash(pool, memo, a));
+        }
+        Term::Binop { op, a, b } => {
+            h = mix(h, 4);
+            h = mix(h, op as u64);
+            h = mix(h, term_content_hash(pool, memo, a));
+            h = mix(h, term_content_hash(pool, memo, b));
+        }
+        Term::Ite { c, t: tt, e } => {
+            h = mix(h, 5);
+            h = mix(h, term_content_hash(pool, memo, c));
+            h = mix(h, term_content_hash(pool, memo, tt));
+            h = mix(h, term_content_hash(pool, memo, e));
+        }
+        Term::Zext { a, width } => {
+            h = mix(h, 6);
+            h = mix(h, width.bits() as u64);
+            h = mix(h, term_content_hash(pool, memo, a));
+        }
+        Term::Trunc { a, width } => {
+            h = mix(h, 7);
+            h = mix(h, width.bits() as u64);
+            h = mix(h, term_content_hash(pool, memo, a));
+        }
+    }
+    memo.insert(key, h);
+    h
 }
 
 /// Snapshot for [`SolverCtx::push`]/[`SolverCtx::pop`].
@@ -1025,10 +1096,19 @@ impl SolverCtx {
         self.cur_witness = f.cur_witness;
     }
 
-    fn memo_key(&self, extra: Option<TermRef>) -> Box<[u32]> {
-        let mut key: Vec<u32> = self.constraints.iter().map(|c| c.index() as u32).collect();
+    fn memo_key(
+        &self,
+        pool: &TermPool,
+        cache: &mut SolverCache,
+        extra: Option<TermRef>,
+    ) -> Box<[u64]> {
+        let mut key: Vec<u64> = self
+            .constraints
+            .iter()
+            .map(|&c| term_content_hash(pool, &mut cache.term_hashes, c))
+            .collect();
         if let Some(e) = extra {
-            key.push(e.index() as u32);
+            key.push(term_content_hash(pool, &mut cache.term_hashes, e));
         }
         key.into_boxed_slice()
     }
@@ -1043,7 +1123,7 @@ impl SolverCtx {
         cache: &mut SolverCache,
         atom: TermRef,
     ) -> Option<Witness> {
-        let k = atom.index() as u32;
+        let k = term_content_hash(pool, &mut cache.term_hashes, atom);
         if let Some(w) = cache.atom_memo.get(&k) {
             return w.clone();
         }
@@ -1110,8 +1190,9 @@ impl SolverCtx {
                 return true;
             }
         }
-        // 2. Exact-list memo (identical ordered probe seen before).
-        let key = self.memo_key(Some(extra));
+        // 2. Exact-list memo (identical ordered probe seen before —
+        //    possibly against a different pool holding the same terms).
+        let key = self.memo_key(pool, cache, Some(extra));
         if let Some(&f) = cache.list_memo.get(&key) {
             cache.stats.memo_hits += 1;
             return f;
@@ -1188,7 +1269,7 @@ impl SolverCtx {
     /// check). Same cascade as [`SolverCtx::probe_feasible`].
     pub fn current_feasible(&mut self, pool: &TermPool, cache: &mut SolverCache) -> bool {
         cache.stats.checks_requested += 1;
-        let key = self.memo_key(None);
+        let key = self.memo_key(pool, cache, None);
         self.decide_current(pool, cache, key)
     }
 
@@ -1200,7 +1281,7 @@ impl SolverCtx {
         &mut self,
         pool: &TermPool,
         cache: &mut SolverCache,
-        key: Box<[u32]>,
+        key: Box<[u64]>,
     ) -> bool {
         // A live model (e.g. kept alive by assert_term's verified repair)
         // already proves the current list satisfiable.

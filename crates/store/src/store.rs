@@ -71,10 +71,11 @@ fn next_stamp() -> u64 {
 
 /// What a record's payload encodes.
 ///
-/// `Composed` was added within store-format version 2: it introduces a
-/// new tag without changing the payload layout of the existing kinds, so
-/// pre-existing stores stay readable and old binaries simply reject the
-/// unknown tag (a miss, swept first under disk pressure).
+/// `Composed` and `Plan` were added within store-format version 2: each
+/// introduces a new tag without changing the payload layout of the
+/// existing kinds, so pre-existing stores stay readable and old binaries
+/// simply reject the unknown tag (a miss, swept first under disk
+/// pressure).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RecordKind {
     /// An encoded `ExplorationResult` (pool + feasible paths + stats).
@@ -84,6 +85,10 @@ pub enum RecordKind {
     /// An encoded composed-chain `NfContract`, keyed by the fingerprints
     /// of the two contracts it was composed from.
     Composed,
+    /// An encoded chain parallelization plan (`ChainPlan`): groups of
+    /// provably order-independent stages plus commutativity witnesses,
+    /// keyed by the fingerprints of every stage in the chain.
+    Plan,
 }
 
 impl RecordKind {
@@ -92,6 +97,7 @@ impl RecordKind {
             RecordKind::Exploration => 0,
             RecordKind::Contract => 1,
             RecordKind::Composed => 2,
+            RecordKind::Plan => 3,
         }
     }
 
@@ -100,6 +106,7 @@ impl RecordKind {
             0 => Ok(RecordKind::Exploration),
             1 => Ok(RecordKind::Contract),
             2 => Ok(RecordKind::Composed),
+            3 => Ok(RecordKind::Plan),
             _ => Err(DecodeError::Malformed("record kind out of range")),
         }
     }
@@ -109,6 +116,7 @@ impl RecordKind {
             RecordKind::Exploration => "exp",
             RecordKind::Contract => "ctr",
             RecordKind::Composed => "cmp",
+            RecordKind::Plan => "pln",
         }
     }
 }

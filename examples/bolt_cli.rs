@@ -115,7 +115,8 @@ fn usage() -> ! {
          \x20 explore  --nf NAME | --all   [--level nf-only|full-stack|both] [--store DIR]\n\
          \x20 list     [--store DIR | --remote EP]\n\
          \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR | --remote EP]\n\
-         \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N] [--store DIR]\n\
+         \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N]\n\
+         \x20          [--parallelize] [--plan] [--json] [--store DIR]\n\
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR | --remote EP]\n\
          \x20 evict    --nf NAME [--level L|both] | --budget BYTES   [--store DIR]\n\
          \x20 serve    [--socket PATH] [--tcp ADDR] [--cache-budget BYTES] [--max-conns N]\n\
@@ -190,6 +191,8 @@ struct Opts {
     histograms: bool,
     json: bool,
     metrics_text: Option<String>,
+    parallelize: bool,
+    plan: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -228,6 +231,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--remote" => o.remote = Some(val("--remote")),
             "--histograms" => o.histograms = true,
             "--json" => o.json = true,
+            "--parallelize" => o.parallelize = true,
+            "--plan" => o.plan = true,
             "--metrics-text" => o.metrics_text = Some(val("--metrics-text")),
             "--socket" => o.socket = Some(val("--socket")),
             "--tcp" => o.tcp = Some(val("--tcp")),
@@ -381,6 +386,7 @@ fn cmd_list(o: &Opts) {
             RecordKind::Exploration => "exploration",
             RecordKind::Contract => "contract",
             RecordKind::Composed => "composed",
+            RecordKind::Plan => "plan",
         };
         println!(
             "{:>14} {:>10} {kind:>11} {:>6} {:>9}  {}",
@@ -542,7 +548,10 @@ fn cmd_diff(o: &Opts) {
 /// Compose a named chain through the store: every stage exploration and
 /// every pairwise fold step is a content-addressed record, so repeating
 /// the command is fully solver-free. Prints the composed contract's
-/// provenance and answers one class query against it.
+/// provenance (the [`ChainReport`] rendering, or `--json`) and answers
+/// one class query against it. `--parallelize` additionally plans the
+/// chain — grouping provably-commuting stages — and `--plan` (implies
+/// `--parallelize`) prints the per-pair commutativity witnesses.
 fn cmd_chain(o: &Opts) {
     let store = open_store(o);
     let spec = o
@@ -566,34 +575,24 @@ fn cmd_chain(o: &Opts) {
     }
     let metric = parse_metric(o.metric.as_deref().unwrap_or("instructions"));
     for &level in &levels_of(o) {
-        let rep = chain
-            .report(level)
-            .unwrap_or_else(|| die("chain needs at least one NF"));
-        let key = chain.chain_key(level).expect("non-empty chain");
-        println!(
-            "chain {} @ {} — {} paths  key {key}",
-            chain.names().join(" -> "),
-            level_name(level_tag(level)),
-            rep.contract.paths.len()
-        );
-        println!(
-            "  stages     : {} explored, {} from store",
-            rep.stages_explored, rep.stages_cached
-        );
-        println!(
-            "  fold steps : {} composed, {} from store",
-            rep.steps_composed, rep.steps_cached
-        );
-        println!(
-            "  compose    : {} solver requests, {} full queries{}",
-            rep.solver.checks_requested,
-            rep.solver.solver_queries,
-            if rep.fully_cached() {
-                " (fully warm: solver-free)"
-            } else {
-                ""
+        let rep = if o.parallelize || o.plan {
+            chain.parallelize(level)
+        } else {
+            chain.report(level)
+        }
+        .unwrap_or_else(|| die("chain needs at least one NF"));
+        if o.json {
+            println!("{}", rep.to_json());
+            continue;
+        }
+        println!("{rep}");
+        if o.plan {
+            if let Some(plan) = rep.plan.as_ref() {
+                for w in &plan.witnesses {
+                    println!("  witness    : {}", plan.describe_witness(w));
+                }
             }
-        );
+        }
         let class = match &o.tag {
             Some(t) => InputClass::new(
                 format!("tag:{t}"),

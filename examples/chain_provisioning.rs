@@ -14,7 +14,7 @@ use bolt::nfs::{Firewall, StaticRouter};
 use bolt::see::StackLevel;
 use bolt::solver::Solver;
 use bolt::trace::Metric;
-use bolt::{NetworkFunction, Pipeline};
+use bolt::{Composer, NetworkFunction, Pipeline};
 
 fn main() {
     let solver = Solver::default();
@@ -48,7 +48,7 @@ fn main() {
         .push(StaticRouter::default());
     let stage_contracts = pipeline.contracts(StackLevel::FullStack);
     let naive = Pipeline::naive_add_of(&stage_contracts, Metric::Instructions, &env);
-    let mut chain = Pipeline::compose_all(stage_contracts).unwrap();
+    let mut chain = Composer::new(&solver).compose_all(stage_contracts).unwrap();
     println!("\ncomposed {:?} contract:", pipeline.names());
     for class in &classes {
         if let Some(q) = chain.query(&solver, class, Metric::Instructions, &env) {

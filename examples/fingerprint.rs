@@ -34,7 +34,10 @@ fn dump<N: NetworkFunction + Sync>(name: &str, nf: N) {
 
 fn dump_chain(label: &str, chain: &Pipeline<'_>) {
     for level in [StackLevel::NfOnly, StackLevel::FullStack] {
-        let rep = chain.report(level).expect("non-empty chain");
+        // Parallelize so the plan — groups, witnesses, predicted cycle
+        // contract — is part of the fingerprint; it must be just as
+        // thread-count-independent as the composed contract itself.
+        let rep = chain.parallelize(level).expect("non-empty chain");
         let key = chain.chain_key(level).expect("non-empty chain");
         println!(
             "== chain {label} {level:?}: {} paths  key {key}",
@@ -64,6 +67,16 @@ fn dump_chain(label: &str, chain: &Pipeline<'_>) {
             s.memo_hits,
             s.unsat_by_propagation
         );
+        let plan = rep.plan.as_ref().expect("parallelize attaches a plan");
+        println!(
+            "  plan: {}  seq={}cy par={}cy",
+            plan.groups_display(),
+            plan.sequential_cycles(&env),
+            plan.parallel_cycles(&env)
+        );
+        for w in &plan.witnesses {
+            println!("  witness: {}", plan.describe_witness(w));
+        }
     }
 }
 

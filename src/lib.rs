@@ -66,7 +66,7 @@ pub use nf_lib as lib;
 
 pub use bolt_core::nf::{AbstractNf, Bolt, NetworkFunction};
 pub use bolt_core::store::{ContractStore, StoreExt};
-pub use bolt_core::Pipeline;
+pub use bolt_core::{ChainPlan, Composer, Pipeline};
 
 /// Re-export of the symbolic/concrete execution engine with the stack
 /// level alias used throughout the examples.

@@ -9,8 +9,7 @@
 use bolt::core::chain::ChainReport;
 use bolt::core::store::{compose_key, store_key, StoreExt};
 use bolt::core::{
-    compose, compose_with, decode_contract, encode_contract, ContractStore, InputClass, NfContract,
-    Pipeline,
+    decode_contract, encode_contract, Composer, ContractStore, InputClass, NfContract, Pipeline,
 };
 use bolt::expr::PcvAssignment;
 use bolt::nfs::firewall::FirewallConfig;
@@ -33,7 +32,8 @@ fn fw_router(level: StackLevel) -> NfContract {
         .explore(level)
         .contract()
         .into_inner();
-    compose(&fw, &rt, &Solver::default())
+    let solver = Solver::default();
+    Composer::new(&solver).compose(&fw, &rt)
 }
 
 fn assert_contract_identical(name: &str, a: &NfContract, b: &NfContract) {
@@ -126,11 +126,17 @@ fn parallel_composition_matches_sequential_on_real_nfs() {
         .into_inner();
     let solver = Solver::default();
     let mut seq_cache = SolverCache::new();
-    let seq = compose_with(&fw, &rt, &solver, &mut seq_cache, 1);
+    let seq = Composer::new(&solver)
+        .cache(&mut seq_cache)
+        .threads(1)
+        .compose(&fw, &rt);
     let seq_bytes = encode_contract(&seq);
     for threads in [2, 3, 8] {
         let mut cache = SolverCache::new();
-        let par = compose_with(&fw, &rt, &solver, &mut cache, threads);
+        let par = Composer::new(&solver)
+            .cache(&mut cache)
+            .threads(threads)
+            .compose(&fw, &rt);
         assert_eq!(
             encode_contract(&par),
             seq_bytes,
