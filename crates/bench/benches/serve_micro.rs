@@ -24,13 +24,47 @@ use std::time::Instant;
 use bolt_bench::table_fmt::print_table;
 use bolt_core::store::{level_tag, StoreExt};
 use bolt_nfs::{Bridge, Firewall};
-use bolt_serve::{Client, Endpoint, QueryRequest, ServeCore, Server, ServerConfig, StatsReply};
+use bolt_serve::{
+    Client, Endpoint, QueryRequest, Request, Response, ServeCore, Server, StatsReply,
+};
 use bolt_store::ContractStore;
 use bolt_trace::Metric;
 use dpdk_sim::StackLevel;
 
 fn counter(stats: &StatsReply, name: &str) -> u64 {
     stats.get(name).unwrap_or(0)
+}
+
+/// Warm-query throughput on ONE connection at a pipeline depth: submit
+/// a window of `depth` queries, flush them as one write, drain the
+/// replies, repeat. Depth 1 degenerates to the strict v1
+/// request/response round trip — the PR 6 baseline.
+fn pipelined_ops(endpoint: &Endpoint, depth: u32, iters: usize, expected: &str) -> f64 {
+    let mut session = Client::builder(endpoint)
+        .pipeline_depth(depth)
+        .session()
+        .unwrap();
+    let req = Request::Query(query("bridge"));
+    // One untimed round trip so the server-side memo is warm.
+    session.call(&req).unwrap();
+    let mut tickets = Vec::with_capacity(depth as usize);
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    while done < iters {
+        let burst = (depth as usize).min(iters - done);
+        for _ in 0..burst {
+            tickets.push(session.submit(&req).unwrap());
+        }
+        session.flush().unwrap();
+        for t in tickets.drain(..) {
+            match session.recv(t).unwrap() {
+                Response::Query(r) => assert_eq!(r.text, expected, "pipelined answer diverged"),
+                other => panic!("unexpected reply {other:?}"),
+            }
+            done += 1;
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
 }
 
 fn query(nf: &str) -> QueryRequest {
@@ -100,18 +134,12 @@ fn main() {
     // Socket round trips: concurrent clients over a real socket, every
     // answer checked against the in-process one, graceful shutdown.
     let expected = first.text.clone();
-    let server = Server::start(
-        ServeCore::new(ContractStore::open(&store_dir).unwrap()),
-        ServerConfig {
-            #[cfg(unix)]
-            unix: Some(dir.join("bench.sock")),
-            #[cfg(not(unix))]
-            unix: None,
-            tcp: Some("127.0.0.1:0".to_string()),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let builder = Server::builder().tcp("127.0.0.1:0");
+    #[cfg(unix)]
+    let builder = builder.unix(dir.join("bench.sock"));
+    let server = builder
+        .start(ServeCore::new(ContractStore::open(&store_dir).unwrap()))
+        .unwrap();
     #[cfg(unix)]
     let endpoint = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
     #[cfg(not(unix))]
@@ -122,7 +150,7 @@ fn main() {
             let ep = endpoint.clone();
             let expected = expected.clone();
             std::thread::spawn(move || {
-                let mut client = Client::connect(&ep).unwrap();
+                let mut client = Client::builder(&ep).build().unwrap();
                 for _ in 0..socket_iters {
                     let reply = client.query(query("bridge")).unwrap();
                     assert_eq!(reply.text, expected, "socket answer diverged");
@@ -134,6 +162,27 @@ fn main() {
         h.join().unwrap();
     }
     let socket_ops = (socket_clients * socket_iters) as f64 / t0.elapsed().as_secs_f64();
+
+    // Pipelined warm-query throughput on a single connection: the
+    // event-driven engine's headline number. Depth 1 is the strict
+    // round-trip baseline; deeper windows amortise syscalls and wakeups
+    // across the whole in-flight window.
+    let pipe_iters = if quick { 400 } else { 20_000 };
+    let pipe_depths = [1u32, 4, 8];
+    let pipe_ops: Vec<(u32, f64)> = pipe_depths
+        .iter()
+        .map(|&d| (d, pipelined_ops(&endpoint, d, pipe_iters, &expected)))
+        .collect();
+    let depth_ops = |d: u32| pipe_ops.iter().find(|(pd, _)| *pd == d).unwrap().1;
+    let pipe_speedup = depth_ops(8) / depth_ops(1);
+    if !quick {
+        assert!(
+            pipe_speedup >= 2.0,
+            "pipelining at depth 8 must be ≥2× depth 1 on one connection \
+             (got {pipe_speedup:.2}×)"
+        );
+    }
+
     server.request_shutdown();
     let served = server.join();
 
@@ -171,6 +220,19 @@ fn main() {
                 format!("socket ops/sec ({socket_clients} clients)"),
                 format!("{socket_ops:.0}"),
             ],
+            vec![
+                "pipelined ops/sec, 1 conn @ depth 1/4/8".into(),
+                format!(
+                    "{:.0} / {:.0} / {:.0}",
+                    depth_ops(1),
+                    depth_ops(4),
+                    depth_ops(8)
+                ),
+            ],
+            vec![
+                "pipeline speedup (depth 8 vs 1)".into(),
+                format!("{pipe_speedup:.2}x"),
+            ],
             vec!["memo hit rate".into(), format!("{memo_hit_rate:.4}")],
             vec![
                 "warm explorations / solver / decodes".into(),
@@ -198,11 +260,19 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(", ");
+    let pipe_json = pipe_ops
+        .iter()
+        .map(|(d, ops)| format!("\"depth_{d}\": {ops:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"bench\": \"serve_micro\",\n  \"quick\": {quick},\n  \
          \"cold_start_ms\": {cold_ms:.3},\n  \"warm_memo_us\": {warm_us:.3},\n  \
          \"warm_ops_per_sec\": {warm_ops:.0},\n  \"socket_clients\": {socket_clients},\n  \
-         \"socket_ops_per_sec\": {socket_ops:.0},\n  \"memo_hit_rate\": {memo_hit_rate:.4},\n  \
+         \"socket_ops_per_sec\": {socket_ops:.0},\n  \
+         \"pipelined_ops_per_sec\": {{{pipe_json}}},\n  \
+         \"pipeline_speedup_depth8_vs_depth1\": {pipe_speedup:.2},\n  \
+         \"memo_hit_rate\": {memo_hit_rate:.4},\n  \
          \"opcode_latency\": {{{lat_json}}}\n}}\n"
     );
     // Land the trajectory file at the workspace root (cargo runs benches

@@ -131,6 +131,15 @@ impl ContractCache {
         Some(entry)
     }
 
+    /// Look at a hot contract *without* bumping recency or recording a
+    /// touch — the event loop's dispatch probe, which must not distort
+    /// LRU order for requests that then take the full
+    /// [`ContractCache::lookup`] path anyway.
+    pub fn peek(&self, key: Fingerprint) -> Option<Arc<Mutex<CacheEntry>>> {
+        let inner = self.inner.lock().expect("cache poisoned");
+        inner.slots.get(&key).map(|s| Arc::clone(&s.entry))
+    }
+
     /// Insert a freshly decoded contract under its store key and weight
     /// (on-disk record bytes). Evicts least-recently-used entries until
     /// the budget holds again — never the entry just inserted — and
@@ -255,6 +264,28 @@ mod tests {
         assert!(cache.lookup(c).is_some());
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.weight(), 80);
+    }
+
+    #[test]
+    fn peek_bumps_neither_recency_nor_touches() {
+        let cache = ContractCache::new(CacheConfig {
+            budget: 100,
+            flush_every: 1,
+        });
+        let (a, b, c) = (Fingerprint(1), Fingerprint(2), Fingerprint(3));
+        cache.insert(a, entry("a"), 40);
+        cache.insert(b, entry("b"), 40);
+        // A peek at `a` must not save it from eviction...
+        assert!(cache.peek(a).is_some());
+        let (_, evicted) = cache.insert(c, entry("c"), 40);
+        assert_eq!(evicted, vec![a], "peek must not bump LRU recency");
+        // ...and must not queue an on-disk touch (flush_every=1 means a
+        // single lookup would).
+        assert!(cache.take_pending_touches(true).is_empty());
+        assert!(cache.peek(b).is_some());
+        assert!(cache.take_pending_touches(true).is_empty());
+        cache.lookup(b);
+        assert_eq!(cache.take_pending_touches(true), vec![b]);
     }
 
     #[test]

@@ -1,19 +1,36 @@
-//! A blocking client for the serve protocol.
+//! A blocking client for the serve protocol, with optional request
+//! pipelining.
 //!
-//! One [`Client`] owns one (lazily dialled) connection; calls are
-//! strictly request/response, so a client is cheap to use from many
-//! threads by giving each thread its own client (the server runs one
-//! thread per connection anyway).
+//! Two layers:
 //!
-//! The client is resilient by default: transport failures on
-//! *idempotent* requests (ping, query, list, provenance, stats) tear
-//! down the connection, back off with jitter, reconnect, and retry up
-//! to [`ClientConfig::retries`] times. Non-idempotent requests (diff
-//! today renders from immutable records but is grouped conservatively;
-//! shutdown must never fire twice) surface the first failure. Error
-//! *frames* — the server answered, but with a diagnostic — are never
-//! retried: the server is healthy and would say the same thing again.
+//! * [`Client`] — the high-level, resilient handle. Build one with
+//!   [`Client::builder`]; each call is one request/response exchange,
+//!   and transport failures on *idempotent* requests (ping, query,
+//!   list, provenance, stats) tear down the connection, back off with
+//!   jitter, reconnect, and retry up to [`ClientConfig::retries`]
+//!   times. Non-idempotent requests (diff today renders from immutable
+//!   records but is grouped conservatively; shutdown must never fire
+//!   twice) surface the first failure. Error *frames* — the server
+//!   answered, but with a diagnostic — are never retried: the server
+//!   is healthy and would say the same thing again.
+//! * [`Session`] — one negotiated connection, exposed directly for
+//!   pipelining: [`Session::submit`] queues a request and returns a
+//!   [`Ticket`], [`Session::flush`] pushes the batch onto the wire in
+//!   one write, and [`Session::recv`] blocks until that ticket's reply
+//!   arrives (replies come back in *completion* order; the session
+//!   files them by correlation id). A session never retries — it is
+//!   the raw connection; resilience lives in [`Client`].
+//!
+//! Pipeline depth is negotiated: a session opened with
+//! [`ClientConfig::pipeline_depth`] > 1 sends a `Hello` first. A new
+//! server acks with the granted protocol version and depth; an old
+//! server answers the unknown opcode with an error frame, which the
+//! session takes as "speak v1 at depth 1". A depth of 1 (the
+//! deprecated [`Client::connect`]/[`Client::connect_with`] shims pin
+//! this) skips `Hello` entirely and is byte-identical to the PR 6
+//! client on the wire.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -25,8 +42,8 @@ use std::time::Duration;
 use bolt_fault::XorShift64;
 
 use crate::protocol::{
-    read_frame, write_frame, DiffRequest, MetricsReply, QueryReply, QueryRequest, Request,
-    Response, StatsReply,
+    read_frame, DiffRequest, MetricsReply, QueryReply, QueryRequest, Request, Response, StatsReply,
+    MAX_PIPELINE_DEPTH, PIPELINE_VERSION,
 };
 
 /// Where a server lives: `tcp:HOST:PORT`, or a Unix socket path.
@@ -34,7 +51,7 @@ use crate::protocol::{
 pub enum Endpoint {
     /// Unix-domain socket path.
     Unix(PathBuf),
-    /// TCP address (`host:port`).
+    /// TCP address (`host:port`, or `[v6-host]:port`).
     Tcp(String),
 }
 
@@ -55,10 +72,11 @@ impl std::error::Error for ParseEndpointError {}
 
 impl Endpoint {
     /// Parse an endpoint spec: a `tcp:` prefix selects TCP (and the
-    /// rest must be `host:port` with a numeric port), anything else is
-    /// a Unix socket path. Empty and structurally hopeless specs are
-    /// rejected here rather than at connect time, where "No such file
-    /// or directory" for a mistyped `tcp:` flag would mislead.
+    /// rest must be `HOST:PORT` with a numeric port — IPv6 hosts
+    /// bracketed, `tcp:[::1]:8080`), anything else is a Unix socket
+    /// path. Empty and structurally hopeless specs are rejected here
+    /// rather than at connect time, where "No such file or directory"
+    /// for a mistyped `tcp:` flag would mislead.
     pub fn parse(s: &str) -> Result<Endpoint, ParseEndpointError> {
         let err = |reason| ParseEndpointError {
             spec: s.to_string(),
@@ -70,12 +88,31 @@ impl Endpoint {
         }
         match spec.strip_prefix("tcp:") {
             Some(addr) => {
-                let (host, port) = addr
-                    .rsplit_once(':')
-                    .ok_or_else(|| err("tcp endpoint needs HOST:PORT"))?;
-                if host.is_empty() {
-                    return Err(err("tcp endpoint has an empty host"));
-                }
+                let port = if let Some(rest) = addr.strip_prefix('[') {
+                    // Bracketed IPv6: [HOST]:PORT. rsplit_once(':')
+                    // would split inside the address, so the bracket
+                    // is parsed structurally instead.
+                    let (host, after) = rest
+                        .split_once(']')
+                        .ok_or_else(|| err("tcp endpoint has an unclosed '[' bracket"))?;
+                    if host.is_empty() {
+                        return Err(err("tcp endpoint has an empty host"));
+                    }
+                    after
+                        .strip_prefix(':')
+                        .ok_or_else(|| err("tcp endpoint needs a :PORT after the ']' bracket"))?
+                } else {
+                    let (host, port) = addr
+                        .rsplit_once(':')
+                        .ok_or_else(|| err("tcp endpoint needs HOST:PORT"))?;
+                    if host.is_empty() {
+                        return Err(err("tcp endpoint has an empty host"));
+                    }
+                    if host.contains(':') {
+                        return Err(err("IPv6 hosts must be bracketed, like tcp:[::1]:8080"));
+                    }
+                    port
+                };
                 if port.parse::<u16>().is_err() {
                     return Err(err("tcp endpoint needs a numeric port (0-65535)"));
                 }
@@ -141,6 +178,11 @@ pub struct ClientConfig {
     pub backoff: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Requested pipeline window: how many requests may be in flight
+    /// on the connection at once. `<= 1` skips negotiation entirely
+    /// and speaks pure v1 (byte-identical to the PR 6 client); higher
+    /// values negotiate with the server, which may grant less.
+    pub pipeline_depth: u32,
 }
 
 impl Default for ClientConfig {
@@ -151,7 +193,92 @@ impl Default for ClientConfig {
             retries: 2,
             backoff: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
+            pipeline_depth: 8,
         }
+    }
+}
+
+/// Fluent construction for a [`Client`] or a raw [`Session`],
+/// mirroring the `Composer` convention:
+///
+/// ```no_run
+/// use bolt_serve::{Client, Endpoint};
+/// use std::time::Duration;
+/// let ep = Endpoint::parse("tcp:127.0.0.1:7070").unwrap();
+/// let mut client = Client::builder(&ep)
+///     .deadline(Duration::from_secs(30))
+///     .retries(4)
+///     .pipeline_depth(8)
+///     .build()
+///     .unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClientBuilder {
+    endpoint: Endpoint,
+    config: ClientConfig,
+}
+
+impl ClientBuilder {
+    /// Per-call reply deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.config.deadline = d;
+        self
+    }
+
+    /// TCP connect timeout.
+    pub fn connect_timeout(mut self, d: Duration) -> Self {
+        self.config.connect_timeout = d;
+        self
+    }
+
+    /// Transport-failure retries for idempotent requests.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.config.retries = n;
+        self
+    }
+
+    /// Base reconnect backoff (doubles per attempt).
+    pub fn backoff(mut self, d: Duration) -> Self {
+        self.config.backoff = d;
+        self
+    }
+
+    /// Backoff ceiling.
+    pub fn backoff_cap(mut self, d: Duration) -> Self {
+        self.config.backoff_cap = d;
+        self
+    }
+
+    /// Requested pipeline window (clamped to the protocol maximum;
+    /// `<= 1` disables negotiation and speaks pure v1).
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.config.pipeline_depth = depth.min(MAX_PIPELINE_DEPTH);
+        self
+    }
+
+    /// Start from an explicit [`ClientConfig`] (the builder's other
+    /// setters still apply on top).
+    pub fn config(mut self, config: ClientConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Dial eagerly and return the resilient [`Client`] handle.
+    pub fn build(self) -> Result<Client, ServeError> {
+        let mut client = Client {
+            endpoint: self.endpoint,
+            config: self.config,
+            session: None,
+            jitter: XorShift64::new(std::process::id() as u64 ^ 0x5EED_1E55),
+        };
+        client.ensure_session()?;
+        Ok(client)
+    }
+
+    /// Dial eagerly and return the raw negotiated [`Session`] — the
+    /// pipelining interface, without the retry layer.
+    pub fn session(self) -> Result<Session, ServeError> {
+        Session::establish(&self.endpoint, &self.config)
     }
 }
 
@@ -160,40 +287,48 @@ impl Transport for TcpStream {}
 #[cfg(unix)]
 impl Transport for UnixStream {}
 
-/// One connection to a serve endpoint, redialled on demand.
-pub struct Client {
-    endpoint: Endpoint,
-    config: ClientConfig,
-    stream: Option<Box<dyn Transport>>,
-    jitter: XorShift64,
+/// A claim on one in-flight request in a [`Session`]; redeem it with
+/// [`Session::recv`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ticket(u64);
+
+/// One negotiated connection with pipelining: submit many, flush once,
+/// receive in any order.
+///
+/// ```no_run
+/// use bolt_serve::{Client, Endpoint, Request};
+/// let ep = Endpoint::parse("bolt.sock").unwrap();
+/// let mut session = Client::builder(&ep).pipeline_depth(8).session().unwrap();
+/// let a = session.submit(&Request::Ping).unwrap();
+/// let b = session.submit(&Request::List).unwrap();
+/// session.flush().unwrap();
+/// let pong = session.recv(b).unwrap(); // completion order is fine
+/// let list = session.recv(a).unwrap();
+/// # let _ = (pong, list);
+/// ```
+pub struct Session {
+    stream: Box<dyn Transport>,
+    /// Whether v2 (correlated) framing was negotiated.
+    v2: bool,
+    /// Granted pipeline window (1 on a v1 session).
+    depth: u32,
+    /// Next correlation id; 0 is reserved for unattributable server
+    /// errors, so tickets start at 1.
+    next_corr: u64,
+    /// Correlation ids submitted and not yet received, in submission
+    /// order (which is also the v1 reply order).
+    inflight: VecDeque<u64>,
+    /// Replies that arrived while waiting for a different ticket.
+    ready: HashMap<u64, Response>,
+    /// Encoded frames queued by [`Session::submit`], sent as one write
+    /// by [`Session::flush`].
+    wbuf: Vec<u8>,
 }
 
-impl Client {
-    /// Connect to an endpoint with default [`ClientConfig`]. The dial
-    /// happens eagerly so a dead server is reported here, not on the
-    /// first call.
-    pub fn connect(endpoint: &Endpoint) -> Result<Client, ServeError> {
-        Client::connect_with(endpoint, ClientConfig::default())
-    }
-
-    /// Connect with explicit tunables.
-    pub fn connect_with(endpoint: &Endpoint, config: ClientConfig) -> Result<Client, ServeError> {
-        let mut client = Client {
-            endpoint: endpoint.clone(),
-            config,
-            stream: None,
-            jitter: XorShift64::new(std::process::id() as u64 ^ 0x5EED_1E55),
-        };
-        client.ensure_connected()?;
-        Ok(client)
-    }
-
-    fn ensure_connected(&mut self) -> Result<(), ServeError> {
-        if self.stream.is_some() {
-            return Ok(());
-        }
-        let deadline = Some(self.config.deadline);
-        let stream: Box<dyn Transport> = match &self.endpoint {
+impl Session {
+    fn establish(endpoint: &Endpoint, config: &ClientConfig) -> Result<Session, ServeError> {
+        let deadline = Some(config.deadline);
+        let stream: Box<dyn Transport> = match endpoint {
             Endpoint::Tcp(addr) => {
                 let mut last = io::Error::new(
                     io::ErrorKind::InvalidInput,
@@ -201,7 +336,7 @@ impl Client {
                 );
                 let mut dialled = None;
                 for sock in addr.to_socket_addrs()? {
-                    match TcpStream::connect_timeout(&sock, self.config.connect_timeout) {
+                    match TcpStream::connect_timeout(&sock, config.connect_timeout) {
                         Ok(s) => {
                             dialled = Some(s);
                             break;
@@ -212,6 +347,7 @@ impl Client {
                 let s = dialled.ok_or(last)?;
                 s.set_read_timeout(deadline)?;
                 s.set_write_timeout(deadline)?;
+                let _ = s.set_nodelay(true);
                 Box::new(s)
             }
             #[cfg(unix)]
@@ -229,14 +365,235 @@ impl Client {
                 )))
             }
         };
-        self.stream = Some(stream);
+        let mut session = Session {
+            stream,
+            v2: false,
+            depth: 1,
+            next_corr: 1,
+            inflight: VecDeque::new(),
+            ready: HashMap::new(),
+            wbuf: Vec::new(),
+        };
+        if config.pipeline_depth > 1 {
+            session.negotiate(config.pipeline_depth.min(MAX_PIPELINE_DEPTH))?;
+        }
+        Ok(session)
+    }
+
+    /// Send `Hello` (always a plain v1 exchange) and latch what the
+    /// server grants. An old server answers the unknown opcode with an
+    /// error frame — that downgrades to v1 at depth 1; any *other*
+    /// error frame (e.g. `server busy`) is a real refusal and
+    /// surfaces.
+    fn negotiate(&mut self, want: u32) -> Result<(), ServeError> {
+        let hello = Request::Hello {
+            max_version: PIPELINE_VERSION,
+            depth: want,
+        };
+        self.write_all(&frame(&hello.encode()))?;
+        let payload = self.read_payload()?;
+        match Response::decode(&payload)
+            .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?
+        {
+            Response::HelloAck { version, depth } => {
+                if version >= PIPELINE_VERSION {
+                    self.v2 = true;
+                    self.depth = depth.clamp(1, MAX_PIPELINE_DEPTH);
+                }
+                Ok(())
+            }
+            // Pre-pipelining server: it cannot decode Hello and says
+            // so. Fall back to the v1 contract it does speak.
+            Response::Error { message } if message.contains("unknown opcode") => Ok(()),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(mismatch("hello ack", &other)),
+        }
+    }
+
+    /// The pipeline window the server granted (1 on a v1 session).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether the session negotiated v2 (correlated) framing.
+    pub fn pipelined(&self) -> bool {
+        self.v2
+    }
+
+    /// Queue one request and return the ticket that will redeem its
+    /// reply. The frame sits in a local batch until [`Session::flush`]
+    /// (or a `recv`, which flushes first). If the pipeline window is
+    /// full, blocks until the oldest in-flight reply arrives.
+    pub fn submit(&mut self, req: &Request) -> Result<Ticket, ServeError> {
+        while self.inflight.len() as u32 >= self.depth {
+            self.flush()?;
+            self.read_one()?;
+        }
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        let payload = if self.v2 {
+            req.encode_v2(corr)
+        } else {
+            req.encode()
+        };
+        self.wbuf.extend_from_slice(&frame(&payload));
+        self.inflight.push_back(corr);
+        Ok(Ticket(corr))
+    }
+
+    /// Push every queued frame onto the wire in one write.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.wbuf);
+        self.write_all(&buf)
+    }
+
+    /// Block until the ticket's reply arrives, filing any other
+    /// replies that land first. Error frames surface as
+    /// [`ServeError::Remote`].
+    pub fn recv(&mut self, ticket: Ticket) -> Result<Response, ServeError> {
+        self.flush()?;
+        loop {
+            if let Some(resp) = self.ready.remove(&ticket.0) {
+                return match resp {
+                    Response::Error { message } => Err(ServeError::Remote(message)),
+                    other => Ok(other),
+                };
+            }
+            if !self.inflight.contains(&ticket.0) {
+                return Err(ServeError::Protocol(format!(
+                    "ticket {} is not in flight on this session",
+                    ticket.0
+                )));
+            }
+            self.read_one()?;
+        }
+    }
+
+    /// One strict request/response round trip on this session.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        let ticket = self.submit(req)?;
+        self.recv(ticket)
+    }
+
+    /// Read one reply frame and file it under its correlation id.
+    fn read_one(&mut self) -> Result<(), ServeError> {
+        let payload = self.read_payload()?;
+        let (corr, resp) = if self.v2 {
+            Response::decode_v2(&payload)
+                .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?
+        } else {
+            let resp = Response::decode(&payload)
+                .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?;
+            let corr = self.inflight.front().copied().ok_or_else(|| {
+                ServeError::Protocol("server answered with nothing in flight".to_string())
+            })?;
+            (corr, resp)
+        };
+        match self.inflight.iter().position(|c| *c == corr) {
+            Some(i) => {
+                self.inflight.remove(i);
+                self.ready.insert(corr, resp);
+                Ok(())
+            }
+            None => match resp {
+                // Correlation id 0 is the server's "unattributable
+                // error" channel (malformed frame, desync); any owner
+                // of this session hears it immediately.
+                Response::Error { message } => Err(ServeError::Remote(message)),
+                _ => Err(ServeError::Protocol(format!(
+                    "server answered unknown correlation id {corr}"
+                ))),
+            },
+        }
+    }
+
+    fn read_payload(&mut self) -> Result<Vec<u8>, ServeError> {
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            // EOF before the reply is a transport-level death (the
+            // server crashed or reaped us), not a protocol bug —
+            // classify it as Io so a retry layer can heal it.
+            ServeError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the reply",
+            ))
+        })
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
         Ok(())
+    }
+}
+
+/// Length-prefix one payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One connection to a serve endpoint, redialled on demand.
+pub struct Client {
+    endpoint: Endpoint,
+    config: ClientConfig,
+    session: Option<Session>,
+    jitter: XorShift64,
+}
+
+impl Client {
+    /// Start describing a client for `endpoint`; finish with
+    /// [`ClientBuilder::build`] (or [`ClientBuilder::session`] for the
+    /// raw pipelined session).
+    pub fn builder(endpoint: &Endpoint) -> ClientBuilder {
+        ClientBuilder {
+            endpoint: endpoint.clone(),
+            config: ClientConfig::default(),
+        }
+    }
+
+    /// Connect with defaults pinned to the PR 6 wire behaviour (pure
+    /// v1, no negotiation). The dial happens eagerly so a dead server
+    /// is reported here, not on the first call.
+    #[deprecated(note = "use `Client::builder(endpoint).build()` instead")]
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ServeError> {
+        #[allow(deprecated)]
+        Client::connect_with(endpoint, ClientConfig::default())
+    }
+
+    /// Connect with explicit tunables, pinned to the PR 6 wire
+    /// behaviour: whatever `config.pipeline_depth` says, this shim
+    /// forces depth 1 so legacy callers stay byte-identical on the
+    /// wire.
+    #[deprecated(note = "use `Client::builder(endpoint)` with builder setters instead")]
+    pub fn connect_with(
+        endpoint: &Endpoint,
+        mut config: ClientConfig,
+    ) -> Result<Client, ServeError> {
+        config.pipeline_depth = 1;
+        Client::builder(endpoint).config(config).build()
+    }
+
+    /// The endpoint this client dials.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    fn ensure_session(&mut self) -> Result<&mut Session, ServeError> {
+        if self.session.is_none() {
+            self.session = Some(Session::establish(&self.endpoint, &self.config)?);
+        }
+        Ok(self.session.as_mut().expect("established above"))
     }
 
     /// One request/response round trip, with reconnect-and-retry for
     /// idempotent requests. Error frames become [`ServeError::Remote`]
     /// and are never retried.
-    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
         let mut attempt = 0u32;
         loop {
             match self.try_call(req) {
@@ -247,6 +604,12 @@ impl Client {
                 other => return other,
             }
         }
+    }
+
+    /// Deprecated name for [`Client::request`].
+    #[deprecated(note = "renamed to `Client::request`")]
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.request(req)
     }
 
     /// Exponential backoff with jitter: `base * 2^(attempt-1)` capped,
@@ -260,41 +623,30 @@ impl Client {
         delay + Duration::from_nanos(self.jitter.next_u64() % jitter_ns)
     }
 
-    /// A single attempt: dial if needed, write, read, decode. Any
-    /// transport or framing failure poisons the connection so the next
-    /// attempt starts from a fresh dial.
+    /// A single attempt: dial (and negotiate) if needed, write, read,
+    /// decode. Any transport or framing failure poisons the connection
+    /// so the next attempt starts from a fresh dial.
     fn try_call(&mut self, req: &Request) -> Result<Response, ServeError> {
-        self.ensure_connected()?;
-        let stream = self.stream.as_mut().expect("connected above");
-        let result = (|| {
-            write_frame(stream, &req.encode())?;
-            let payload = read_frame(stream)?.ok_or_else(|| {
-                // EOF before the reply is a transport-level death (the
-                // server crashed or reaped us), not a protocol bug —
-                // classify it as Io so the retry loop can heal it.
-                ServeError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed before the reply",
-                ))
-            })?;
-            let resp = Response::decode(&payload)
-                .map_err(|e| ServeError::Protocol(format!("bad response frame: {e}")))?;
-            Ok(resp)
-        })();
-        match result {
+        let session = match self.ensure_session() {
+            Ok(s) => s,
+            Err(e) => {
+                self.session = None;
+                return Err(e);
+            }
+        };
+        match session.call(req) {
             Err(e @ (ServeError::Io(_) | ServeError::Protocol(_))) => {
                 // The connection's framing state is unknown; drop it.
-                self.stream = None;
+                self.session = None;
                 Err(e)
             }
-            Ok(Response::Error { message }) => Err(ServeError::Remote(message)),
             other => other,
         }
     }
 
     /// Liveness check; returns the server's version string.
     pub fn ping(&mut self) -> Result<String, ServeError> {
-        match self.call(&Request::Ping)? {
+        match self.request(&Request::Ping)? {
             Response::Pong { version } => Ok(version),
             other => Err(mismatch("pong", &other)),
         }
@@ -302,7 +654,7 @@ impl Client {
 
     /// Run a contract query.
     pub fn query(&mut self, q: QueryRequest) -> Result<QueryReply, ServeError> {
-        match self.call(&Request::Query(q))? {
+        match self.request(&Request::Query(q))? {
             Response::Query(r) => Ok(r),
             other => Err(mismatch("query reply", &other)),
         }
@@ -310,7 +662,7 @@ impl Client {
 
     /// Diff two stored contracts; returns the rendered text.
     pub fn diff(&mut self, d: DiffRequest) -> Result<String, ServeError> {
-        match self.call(&Request::Diff(d))? {
+        match self.request(&Request::Diff(d))? {
             Response::Diff { text } => Ok(text),
             other => Err(mismatch("diff reply", &other)),
         }
@@ -318,7 +670,7 @@ impl Client {
 
     /// List the server's store; returns (record count, rendered table).
     pub fn list(&mut self) -> Result<(u64, String), ServeError> {
-        match self.call(&Request::List)? {
+        match self.request(&Request::List)? {
             Response::List { entries, text } => Ok((entries, text)),
             other => Err(mismatch("list reply", &other)),
         }
@@ -331,7 +683,7 @@ impl Client {
             nf: nf.to_string(),
             level,
         };
-        match self.call(&req)? {
+        match self.request(&req)? {
             Response::Provenance { text } => Ok(text),
             other => Err(mismatch("provenance reply", &other)),
         }
@@ -339,7 +691,7 @@ impl Client {
 
     /// Fetch the server's counters.
     pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
-        match self.call(&Request::Stats)? {
+        match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(mismatch("stats reply", &other)),
         }
@@ -348,7 +700,7 @@ impl Client {
     /// Fetch the server's full observability snapshot: counters,
     /// gauges, and latency histograms.
     pub fn metrics(&mut self) -> Result<MetricsReply, ServeError> {
-        match self.call(&Request::Metrics)? {
+        match self.request(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
             other => Err(mismatch("metrics reply", &other)),
         }
@@ -358,7 +710,7 @@ impl Client {
     /// Never retried: a second shutdown against a restarted server
     /// would kill the wrong instance.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
-        match self.call(&Request::Shutdown)? {
+        match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(mismatch("shutdown ack", &other)),
         }

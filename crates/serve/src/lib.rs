@@ -12,15 +12,22 @@
 //! The layering, bottom-up:
 //!
 //! * [`protocol`] — frames, opcodes, request/response bodies (no I/O
-//!   beyond `Read`/`Write`).
+//!   beyond `Read`/`Write`); two wire versions, with per-request
+//!   correlation ids and `Hello` depth negotiation on v2.
 //! * [`cache`] — the hot-contract LRU with per-contract query memos and
 //!   batched last-used touches back to the store (so `sweep --budget`
 //!   and the server agree on MRU order).
 //! * [`service`] — [`service::ServeCore`], the engine mapping requests
 //!   to answers; also used in-process by `bolt_cli` so local and remote
-//!   output is rendered by one code path.
-//! * [`server`] — accept loops, connection threads, graceful drain.
-//! * [`client`] — the blocking client (`bolt_cli --remote`).
+//!   output is rendered by one code path. Classifies each request as
+//!   inline-fast or offload-cold ([`service::Dispatch`]).
+//! * [`server`] — the event-driven connection engine: a fixed pool of
+//!   poll-driven workers over nonblocking sockets, request pipelining
+//!   at a negotiated depth, cold requests offloaded to a handler pool.
+//!   Built with [`Server::builder`].
+//! * [`client`] — the blocking client (`bolt_cli --remote`): the
+//!   resilient [`Client`] (built with [`Client::builder`]) and the raw
+//!   pipelined [`client::Session`].
 //!
 //! A warm repeat of the same query is answered from the memo: zero
 //! explorations, zero solver requests, zero record decodes — the
@@ -33,10 +40,12 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheConfig, ContractCache};
-pub use client::{Client, ClientConfig, Endpoint, ParseEndpointError, ServeError};
+pub use client::{
+    Client, ClientBuilder, ClientConfig, Endpoint, ParseEndpointError, ServeError, Session, Ticket,
+};
 pub use protocol::{
     DiffRequest, MetricsReply, QueryReply, QueryRequest, Request, Response, StatsReply, MAX_FRAME,
-    PROTOCOL_VERSION,
+    MAX_PIPELINE_DEPTH, PIPELINE_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig};
-pub use service::{Phase, ServeCore, LEGACY_STATS_NAMES, NF_NAMES};
+pub use server::{Server, ServerBuilder, ServerConfig};
+pub use service::{Dispatch, Phase, ServeCore, LEGACY_STATS_NAMES, NF_NAMES};

@@ -1,13 +1,30 @@
 //! The wire protocol: length-prefixed frames over a byte stream.
 //!
-//! Every message — request or response — travels as one frame:
+//! Every message — request or response — travels as one frame. Two
+//! frame versions coexist on the wire:
 //!
 //! ```text
-//! frame            := len:u32le payload          (len = payload bytes, ≤ MAX_FRAME)
-//! request payload  := ver:u8 opcode:u8 body
-//! response payload := status:u8 opcode:u8 body   (status 0 = ok)
-//!                   | status:u8 message:str      (status 1 = error)
+//! frame               := len:u32le payload       (len = payload bytes, ≤ MAX_FRAME)
+//!
+//! v1 request payload  := 0x01 opcode:u8 body
+//! v1 response payload := status:u8 opcode:u8 body   (status 0 = ok)
+//!                      | status:u8 message:str      (status 1 = error)
+//!
+//! v2 request payload  := 0x02 opcode:u8 corr:varint body
+//! v2 response payload := corr:varint v1-response-payload
 //! ```
+//!
+//! Version 1 is strict request/response: one frame out, one frame back,
+//! in order. Version 2 adds a per-request **correlation id** so a client
+//! can pipeline many requests on one connection and the server may
+//! answer them in *completion* order; the id on each response says which
+//! request it answers. A connection starts in v1 and is upgraded by the
+//! [`Opcode::Hello`] negotiation (itself a v1 exchange): the client
+//! names the highest version and pipeline depth it wants, the server
+//! acks with what it grants, and both sides latch. An old server answers
+//! the unknown opcode with a clean error frame, which a new client takes
+//! as "negotiate down to v1, depth 1" — and an old client never sends
+//! `Hello`, so it sees pure v1 byte-for-byte.
 //!
 //! Bodies reuse the store's checked wire substrate
 //! ([`ByteWriter`]/[`ByteReader`]: little-endian integers, LEB128
@@ -27,9 +44,21 @@ use std::io::{self, Read, Write};
 use bolt_obs::{HistogramSnapshot, Snapshot, HIST_BUCKETS};
 use bolt_store::{ByteReader, ByteWriter, DecodeError};
 
-/// Protocol version spoken by this build. Bumped on any frame-layout or
-/// body change; servers reject other versions with an error frame.
+/// The baseline (strict request/response) frame version. Every request
+/// encoded by [`Request::encode`] leads with this byte, and it is the
+/// floor both sides can always fall back to.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The pipelined frame version: requests carry a correlation id (see
+/// [`Request::encode_v2`]) and responses echo it, so many requests can
+/// be in flight on one connection and complete out of order. Spoken
+/// only after a successful [`Opcode::Hello`] negotiation.
+pub const PIPELINE_VERSION: u8 = 2;
+
+/// Hard ceiling a server places on the negotiated pipeline depth,
+/// whatever the client asks for. Bounds per-connection buffering: at
+/// most this many requests are admitted in flight per connection.
+pub const MAX_PIPELINE_DEPTH: u32 = 64;
 
 /// Hard ceiling on one frame's payload (16 MiB). Rendered replies are
 /// kilobytes; anything near this bound is garbage or an attack, and a
@@ -60,6 +89,12 @@ pub enum Opcode {
     /// 1 — an old server answers it with a clean error frame (unknown
     /// opcode), which clients surface as "server too old".
     Metrics = 8,
+    /// Version/depth negotiation: the client names the highest frame
+    /// version and pipeline depth it wants; the server acks with what it
+    /// grants and both sides latch. Always exchanged as a v1 frame, so
+    /// an old server answers it with a clean unknown-opcode error frame
+    /// — which a new client takes as "v1 only, depth 1".
+    Hello = 9,
 }
 
 impl Opcode {
@@ -73,12 +108,13 @@ impl Opcode {
             6 => Opcode::Stats,
             7 => Opcode::Shutdown,
             8 => Opcode::Metrics,
+            9 => Opcode::Hello,
             _ => return Err(DecodeError::Malformed("unknown opcode")),
         })
     }
 
     /// Every opcode, in wire order (indexable as `op as u8 - 1`).
-    pub const ALL: [Opcode; 8] = [
+    pub const ALL: [Opcode; 9] = [
         Opcode::Ping,
         Opcode::Query,
         Opcode::Diff,
@@ -87,6 +123,7 @@ impl Opcode {
         Opcode::Stats,
         Opcode::Shutdown,
         Opcode::Metrics,
+        Opcode::Hello,
     ];
 
     /// Lower-case wire name — the `serve.req.<name>` histogram suffix.
@@ -100,6 +137,7 @@ impl Opcode {
             Opcode::Stats => "stats",
             Opcode::Shutdown => "shutdown",
             Opcode::Metrics => "metrics",
+            Opcode::Hello => "hello",
         }
     }
 }
@@ -159,6 +197,13 @@ pub enum Request {
     Shutdown,
     /// Full observability snapshot.
     Metrics,
+    /// Version/depth negotiation (see [`Opcode::Hello`]).
+    Hello {
+        /// The highest frame version the client can speak.
+        max_version: u8,
+        /// The pipeline depth the client wants (in-flight request cap).
+        depth: u32,
+    },
 }
 
 impl Request {
@@ -173,6 +218,7 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::Shutdown => Opcode::Shutdown,
             Request::Metrics => Opcode::Metrics,
+            Request::Hello { .. } => Opcode::Hello,
         }
     }
 
@@ -180,7 +226,9 @@ impl Request {
     /// safe. Reads are; [`Request::Shutdown`] is not (a retry after a
     /// restart would kill the new instance), and [`Request::Diff`] is
     /// grouped with it conservatively even though today's diff renders
-    /// from immutable records.
+    /// from immutable records. [`Request::Hello`] is connection-scoped
+    /// state, not store state, so re-negotiating after a re-dial is
+    /// safe by construction.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
@@ -190,14 +238,34 @@ impl Request {
                 | Request::Provenance { .. }
                 | Request::Stats
                 | Request::Metrics
+                | Request::Hello { .. }
         )
     }
 
-    /// Encode to one frame payload (version byte, opcode, body).
+    /// Encode to one v1 frame payload (version byte, opcode, body) —
+    /// byte-identical to what a pre-pipelining client produced.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.u8(PROTOCOL_VERSION);
         w.u8(self.opcode() as u8);
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode to one v2 frame payload: version byte, opcode, the
+    /// request's correlation id, body. Spoken only on connections that
+    /// negotiated [`PIPELINE_VERSION`]; the server echoes `corr` on the
+    /// matching response so replies may arrive in completion order.
+    pub fn encode_v2(&self, corr: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(PIPELINE_VERSION);
+        w.u8(self.opcode() as u8);
+        w.varint(corr);
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    fn encode_body(&self, w: &mut ByteWriter) {
         match self {
             Request::Ping
             | Request::List
@@ -230,21 +298,48 @@ impl Request {
                 w.str(nf);
                 w.u8(*level);
             }
+            Request::Hello { max_version, depth } => {
+                w.u8(*max_version);
+                w.varint(*depth as u64);
+            }
         }
-        w.into_bytes()
     }
 
-    /// Decode a request frame payload. Rejects version skew, unknown
-    /// opcodes, and malformed or over-long bodies — always with an
-    /// error, never a panic.
+    /// Decode a v1 request frame payload. Rejects version skew (v2
+    /// frames included — a v1-only peer must never half-parse a
+    /// pipelined frame), unknown opcodes, and malformed or over-long
+    /// bodies — always with an error, never a panic.
     pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        match Request::decode_framed(payload)? {
+            DecodedRequest { corr: None, req } => Ok(req),
+            DecodedRequest { corr: Some(_), .. } => {
+                Err(DecodeError::Malformed("protocol version mismatch"))
+            }
+        }
+    }
+
+    /// Decode a request frame payload of either version: v1 yields
+    /// `corr: None`, v2 yields the request's correlation id. Any other
+    /// leading version byte is a version mismatch.
+    pub fn decode_framed(payload: &[u8]) -> Result<DecodedRequest, DecodeError> {
         let mut r = ByteReader::new(payload);
         let ver = r.u8()?;
-        if ver != PROTOCOL_VERSION {
+        if ver != PROTOCOL_VERSION && ver != PIPELINE_VERSION {
             return Err(DecodeError::Malformed("protocol version mismatch"));
         }
         let op = Opcode::from_u8(r.u8()?)?;
-        let req = match op {
+        let corr = if ver == PIPELINE_VERSION {
+            Some(r.varint()?)
+        } else {
+            None
+        };
+        let req = Request::decode_body(op, &mut r)?;
+        r.expect_end()?;
+        Ok(DecodedRequest { corr, req })
+    }
+
+    fn decode_body(op: Opcode, r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
+        Ok(match op {
             Opcode::Ping => Request::Ping,
             Opcode::List => Request::List,
             Opcode::Stats => Request::Stats,
@@ -283,10 +378,23 @@ impl Request {
                 nf: r.str()?.to_owned(),
                 level: r.u8()?,
             },
-        };
-        r.expect_end()?;
-        Ok(req)
+            Opcode::Hello => Request::Hello {
+                max_version: r.u8()?,
+                depth: u32::try_from(r.varint()?)
+                    .map_err(|_| DecodeError::Malformed("pipeline depth out of range"))?,
+            },
+        })
     }
+}
+
+/// A request frame decoded without assuming its version: the request
+/// plus its correlation id when the frame was v2 (`None` for v1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodedRequest {
+    /// The v2 correlation id; `None` when the frame was v1.
+    pub corr: Option<u64>,
+    /// The decoded request.
+    pub req: Request,
 }
 
 /// A query answer: the rendered text (identical to what a one-shot
@@ -407,6 +515,16 @@ pub enum Response {
     Metrics(MetricsReply),
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
+    /// Negotiation answer: the frame version and pipeline depth the
+    /// server grants (`version` ≤ the client's `max_version`, `depth` ≤
+    /// [`MAX_PIPELINE_DEPTH`]). Both sides latch these for the rest of
+    /// the connection.
+    HelloAck {
+        /// The granted frame version.
+        version: u8,
+        /// The granted pipeline depth (in-flight request cap).
+        depth: u32,
+    },
     /// The request failed; the connection remains usable (unless the
     /// failure was a frame-sync violation, in which case the server
     /// closes it after sending this).
@@ -417,7 +535,7 @@ pub enum Response {
 }
 
 impl Response {
-    /// Encode to one frame payload.
+    /// Encode to one v1 frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         if let Response::Error { message } = self {
@@ -491,14 +609,46 @@ impl Response {
             Response::ShuttingDown => {
                 w.u8(Opcode::Shutdown as u8);
             }
+            Response::HelloAck { version, depth } => {
+                w.u8(Opcode::Hello as u8);
+                w.u8(*version);
+                w.varint(*depth as u64);
+            }
             Response::Error { .. } => unreachable!("handled above"),
         }
         w.into_bytes()
     }
 
-    /// Decode a response frame payload.
+    /// Encode to one v2 frame payload: the answered request's
+    /// correlation id, then the v1 payload unchanged. Error frames carry
+    /// the id too, so a pipelined client can attribute a failure to the
+    /// exact request that caused it.
+    pub fn encode_v2(&self, corr: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.varint(corr);
+        w.raw(&self.encode());
+        w.into_bytes()
+    }
+
+    /// Decode a v1 response frame payload.
     pub fn decode(payload: &[u8]) -> Result<Response, DecodeError> {
         let mut r = ByteReader::new(payload);
+        let resp = Response::decode_inner(&mut r)?;
+        r.expect_end()?;
+        Ok(resp)
+    }
+
+    /// Decode a v2 response frame payload: the correlation id, then the
+    /// response it answers.
+    pub fn decode_v2(payload: &[u8]) -> Result<(u64, Response), DecodeError> {
+        let mut r = ByteReader::new(payload);
+        let corr = r.varint()?;
+        let resp = Response::decode_inner(&mut r)?;
+        r.expect_end()?;
+        Ok((corr, resp))
+    }
+
+    fn decode_inner(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
         match r.u8()? {
             1 => {
                 let message = r.str()?.to_owned();
@@ -579,8 +729,12 @@ impl Response {
                 })
             }
             Opcode::Shutdown => Response::ShuttingDown,
+            Opcode::Hello => Response::HelloAck {
+                version: r.u8()?,
+                depth: u32::try_from(r.varint()?)
+                    .map_err(|_| DecodeError::Malformed("pipeline depth out of range"))?,
+            },
         };
-        r.expect_end()?;
         Ok(resp)
     }
 }
@@ -874,6 +1028,100 @@ mod tests {
             assert!(Request::decode(&q[..cut]).is_err());
         }
         assert!(Response::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn v1_encodings_are_pinned() {
+        // The v1 wire bytes are the compatibility contract with
+        // pre-pipelining peers: pin the simplest frames exactly.
+        assert_eq!(Request::Ping.encode(), vec![1, 1]);
+        assert_eq!(Request::List.encode(), vec![1, 4]);
+        assert_eq!(Response::ShuttingDown.encode(), vec![0, 7]);
+        // Hello itself travels as a v1 frame (it negotiates v2).
+        assert_eq!(
+            Request::Hello {
+                max_version: 2,
+                depth: 8,
+            }
+            .encode(),
+            vec![1, 9, 2, 8]
+        );
+    }
+
+    #[test]
+    fn v2_requests_round_trip_with_correlation_ids() {
+        let reqs = [
+            Request::Ping,
+            Request::Query(QueryRequest {
+                nf: "bridge".into(),
+                level: 1,
+                metric: 2,
+                tag: Some("dst:broadcast".into()),
+                pcvs: vec![("e".into(), 16)],
+            }),
+            Request::Stats,
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let corr = (i as u64) * 1_000_003 + 7;
+            let bytes = req.encode_v2(corr);
+            assert_eq!(bytes[0], PIPELINE_VERSION);
+            let got = Request::decode_framed(&bytes).unwrap();
+            assert_eq!(
+                got,
+                DecodedRequest {
+                    corr: Some(corr),
+                    req: req.clone(),
+                }
+            );
+            // The strict v1 decoder refuses pipelined frames outright.
+            assert!(Request::decode(&bytes).is_err());
+            // And decode_framed still accepts plain v1 frames.
+            let v1 = Request::decode_framed(&req.encode()).unwrap();
+            assert_eq!(v1, DecodedRequest { corr: None, req });
+        }
+    }
+
+    #[test]
+    fn v2_responses_round_trip_with_correlation_ids() {
+        let resps = [
+            Response::Pong {
+                version: "0.1.0".into(),
+            },
+            Response::HelloAck {
+                version: 2,
+                depth: 8,
+            },
+            Response::Error {
+                message: "unknown NF \"tor\"".into(),
+            },
+        ];
+        for (i, resp) in resps.into_iter().enumerate() {
+            let corr = u64::MAX - i as u64;
+            let bytes = resp.encode_v2(corr);
+            assert_eq!(Response::decode_v2(&bytes).unwrap(), (corr, resp.clone()));
+            // A v2 payload is the corr varint + the v1 payload, exactly.
+            let tail = resp.encode();
+            assert!(bytes.ends_with(&tail));
+            // Truncations error, never panic.
+            for cut in 0..bytes.len() {
+                assert!(Response::decode_v2(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let req = Request::Hello {
+            max_version: PIPELINE_VERSION,
+            depth: MAX_PIPELINE_DEPTH,
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        assert!(req.is_idempotent());
+        let ack = Response::HelloAck {
+            version: PIPELINE_VERSION,
+            depth: 4,
+        };
+        assert_eq!(Response::decode(&ack.encode()).unwrap(), ack);
     }
 
     #[test]

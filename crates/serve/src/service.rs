@@ -35,6 +35,7 @@ use dpdk_sim::StackLevel;
 use crate::cache::{CacheConfig, CacheEntry, ContractCache, MemoKey};
 use crate::protocol::{
     DiffRequest, MetricsReply, Opcode, QueryReply, QueryRequest, Request, Response, StatsReply,
+    MAX_PIPELINE_DEPTH, PIPELINE_VERSION,
 };
 
 /// The NF dispatch vocabulary the server understands (the same names
@@ -155,6 +156,16 @@ pub enum Phase {
     Handle = 1,
     /// Reply encoded → frame flushed to the socket.
     Write = 2,
+}
+
+/// Where the socket server should run one request (see
+/// [`ServeCore::dispatch`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dispatch {
+    /// Bounded work: run it inline on the event loop.
+    Inline,
+    /// Potentially blocking work: hand it to the handler pool.
+    Offload,
 }
 
 /// Legacy `stats`-reply counter names, in their frozen wire order. The
@@ -389,6 +400,15 @@ impl ServeCore {
         self.flush(true)
     }
 
+    /// Flush the pending cache-hit touch batch to the store's last-used
+    /// stamps if it has reached [`CacheConfig::flush_every`] — the
+    /// socket server calls this from its event loop between poll
+    /// wakeups, so the request path itself never pays a stamp write.
+    /// Returns how many records were stamped (0 below the threshold).
+    pub fn drain_touches(&self) -> u64 {
+        self.flush(false)
+    }
+
     fn flush(&self, force: bool) -> u64 {
         let mut stamped = 0;
         for key in self.cache.take_pending_touches(force) {
@@ -419,11 +439,66 @@ impl ServeCore {
             Request::Stats => Ok(Response::Stats(self.stats_reply())),
             Request::Metrics => Ok(Response::Metrics(self.metrics_reply())),
             Request::Shutdown => Ok(Response::ShuttingDown),
+            // The socket server intercepts Hello (negotiation is
+            // connection state, and it knows its own depth cap); this
+            // arm answers in-process callers with the protocol-level
+            // defaults.
+            Request::Hello { max_version, depth } => Ok(Response::HelloAck {
+                version: (*max_version).min(PIPELINE_VERSION),
+                depth: (*depth).clamp(1, MAX_PIPELINE_DEPTH),
+            }),
         };
         result.unwrap_or_else(|message| {
             self.counters.errors.inc();
             Response::Error { message }
         })
+    }
+
+    /// Classify one request for the socket server's event loop:
+    /// [`Dispatch::Inline`] work is bounded (counter snapshots, memoised
+    /// answers — never the solver, never the disk) and may run on the
+    /// loop itself; [`Dispatch::Offload`] work can block arbitrarily
+    /// (exploration, record decode, store I/O) and must go to the
+    /// handler pool so the loop keeps breathing.
+    ///
+    /// This is advisory: [`ServeCore::handle`] computes the same answer
+    /// either way. A race (the memo entry evicted between classification
+    /// and handling) costs latency on one request, never correctness.
+    pub fn dispatch(&self, req: &Request) -> Dispatch {
+        match req {
+            Request::Ping
+            | Request::Stats
+            | Request::Metrics
+            | Request::Shutdown
+            | Request::Hello { .. } => Dispatch::Inline,
+            Request::Query(q) if self.memo_ready(q) => Dispatch::Inline,
+            Request::Query(_) | Request::Diff(_) | Request::List | Request::Provenance { .. } => {
+                Dispatch::Offload
+            }
+        }
+    }
+
+    /// Whether a query would be answered straight from a hot contract's
+    /// memo: the contract is cached, its lock is free right now, and the
+    /// exact (metric, class, PCV binding) answer is memoised. Uses
+    /// [`ContractCache::peek`] so probing does not perturb recency — the
+    /// eventual [`ServeCore::handle`] records the real hit.
+    fn memo_ready(&self, q: &QueryRequest) -> bool {
+        let Ok(level) = parse_level(q.level) else {
+            return false;
+        };
+        let Ok(key) = self.key_of(&q.nf, level) else {
+            return false;
+        };
+        let Some(entry) = self.cache.peek(key) else {
+            return false;
+        };
+        let Ok(e) = entry.try_lock() else {
+            return false;
+        };
+        let mut pcvs = q.pcvs.clone();
+        pcvs.sort_by(|a, b| a.0.cmp(&b.0));
+        e.memo.contains_key(&(q.metric, q.tag.clone(), pcvs))
     }
 
     /// Get the hot contract for (NF name, level): cache hit, store
@@ -438,7 +513,6 @@ impl ServeCore {
             let key = store_key(&nf, level);
             if let Some(entry) = self.cache.lookup(key) {
                 self.counters.cache_hits.inc();
-                self.flush(false);
                 return Ok((key, entry));
             }
             self.counters.cache_misses.inc();

@@ -19,7 +19,6 @@ use bolt_nfs::Bridge;
 use bolt_serve::protocol::{read_frame, write_frame};
 use bolt_serve::{
     Client, ClientConfig, Endpoint, QueryRequest, Request, ServeCore, ServeError, Server,
-    ServerConfig,
 };
 use bolt_store::ContractStore;
 use bolt_trace::Metric;
@@ -86,6 +85,9 @@ fn fast_retry_config() -> ClientConfig {
         retries: 5,
         backoff: Duration::from_millis(20),
         backoff_cap: Duration::from_millis(200),
+        // This suite pins the v1 (strict request/response) path; the
+        // pipelining suite covers negotiated v2 sessions.
+        pipeline_depth: 1,
         ..ClientConfig::default()
     }
 }
@@ -100,12 +102,18 @@ fn endpoint_parse_rejects_garbage_and_round_trips() {
         "tcp::8080",     // empty host
         "tcp:host:notaport",
         "tcp:host:99999", // port > u16
+        "tcp:::1:8080",   // unbracketed IPv6: ambiguous, must be [::1]
+        "tcp:[::1]",      // bracketed host, no port
+        "tcp:[::1:9",     // unclosed bracket
+        "tcp:[]:9",       // empty bracketed host
+        "tcp:[::1]9",     // missing ':' between bracket and port
     ] {
         assert!(Endpoint::parse(bad).is_err(), "{bad:?} must not parse");
     }
     for good in [
         "tcp:127.0.0.1:8080",
         "tcp:[::1]:9",
+        "tcp:[2001:db8::1]:443",
         "tcp:example.com:443",
         "/tmp/bolt.sock",
         "relative/path.sock",
@@ -143,10 +151,14 @@ fn server_death_mid_request_is_a_clean_io_error() {
         });
         let no_retry = ClientConfig {
             retries: 0,
+            pipeline_depth: 1,
             ..ClientConfig::default()
         };
-        let mut client = Client::connect_with(&Endpoint::Unix(sock), no_retry).unwrap();
-        let err = client.call(&Request::Ping).unwrap_err();
+        let mut client = Client::builder(&Endpoint::Unix(sock))
+            .config(no_retry)
+            .build()
+            .unwrap();
+        let err = client.request(&Request::Ping).unwrap_err();
         assert!(
             matches!(err, ServeError::Io(_)),
             "{name}: want ServeError::Io, got {err:?}"
@@ -161,40 +173,44 @@ fn client_retries_idempotent_requests_across_a_restart() {
     let (dir, store) = warm_store("restart");
     let expected = expected_bridge_text(&dir);
     let sock = dir.join("bolt.sock");
-    let config = ServerConfig {
-        unix: Some(sock.clone()),
-        ..ServerConfig::default()
-    };
-    let server_a = Server::start(ServeCore::new(store), config.clone()).unwrap();
+    let server_a = Server::builder()
+        .unix(sock.clone())
+        .start(ServeCore::new(store))
+        .unwrap();
 
     // A second server cannot steal the live socket.
-    let contender = Server::start(
-        ServeCore::new(ContractStore::open(dir.join("store2")).unwrap()),
-        config.clone(),
-    );
+    let contender = Server::builder().unix(sock.clone()).start(ServeCore::new(
+        ContractStore::open(dir.join("store2")).unwrap(),
+    ));
     match contender {
         Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse),
         Ok(_) => panic!("binding over a live server must fail"),
     }
 
-    let mut client =
-        Client::connect_with(&Endpoint::Unix(sock.clone()), fast_retry_config()).unwrap();
+    let mut client = Client::builder(&Endpoint::Unix(sock.clone()))
+        .config(fast_retry_config())
+        .build()
+        .unwrap();
     assert_eq!(client.query(bridge_query()).unwrap().text, expected);
 
     // Kill server A, then leave a *stale* socket file behind, the way a
     // crashed process would: bind and immediately abandon the listener.
-    let mut killer = Client::connect(&Endpoint::Unix(sock.clone())).unwrap();
+    let mut killer = Client::builder(&Endpoint::Unix(sock.clone()))
+        .pipeline_depth(1)
+        .build()
+        .unwrap();
     killer.shutdown().unwrap();
     server_a.join();
     drop(UnixListener::bind(&sock).unwrap());
     assert!(sock.exists(), "the stale socket file is the test fixture");
 
     // A restart must reclaim the dead socket, not fail on it.
-    let server_b = Server::start(
-        ServeCore::new(ContractStore::open(dir.join("store")).unwrap()),
-        config,
-    )
-    .expect("restart must reclaim a stale socket");
+    let server_b = Server::builder()
+        .unix(sock.clone())
+        .start(ServeCore::new(
+            ContractStore::open(dir.join("store")).unwrap(),
+        ))
+        .expect("restart must reclaim a stale socket");
 
     // The client's connection died with server A; the same query must
     // transparently reconnect to B and return byte-identical text.
@@ -209,26 +225,23 @@ fn client_retries_idempotent_requests_across_a_restart() {
 fn connection_cap_rejects_with_busy_and_recovers() {
     let (dir, store) = warm_store("busy");
     let sock = dir.join("bolt.sock");
-    let server = Server::start(
-        ServeCore::new(store),
-        ServerConfig {
-            unix: Some(sock.clone()),
-            max_connections: 1,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = Server::builder()
+        .unix(sock.clone())
+        .max_connections(1)
+        .start(ServeCore::new(store))
+        .unwrap();
     let ep = Endpoint::Unix(sock);
 
-    let mut holder = Client::connect(&ep).unwrap();
+    let mut holder = Client::builder(&ep).pipeline_depth(1).build().unwrap();
     holder.ping().unwrap(); // the slot is definitely taken now
 
     // The next connection gets the busy frame, not service.
     let no_retry = ClientConfig {
         retries: 0,
+        pipeline_depth: 1,
         ..ClientConfig::default()
     };
-    let mut second = Client::connect_with(&ep, no_retry).unwrap();
+    let mut second = Client::builder(&ep).config(no_retry).build().unwrap();
     match second.ping() {
         Err(ServeError::Remote(m)) => {
             assert!(m.contains("busy"), "busy rejection said {m:?}")
@@ -240,7 +253,10 @@ fn connection_cap_rejects_with_busy_and_recovers() {
     // Releasing the slot lets a retrying client in (the reject closed
     // its connection, so the retry path re-dials into the free slot).
     drop(holder);
-    let mut third = Client::connect_with(&ep, fast_retry_config()).unwrap();
+    let mut third = Client::builder(&ep)
+        .config(fast_retry_config())
+        .build()
+        .unwrap();
     let mut served = false;
     for _ in 0..40 {
         if third.ping().is_ok() {
@@ -260,15 +276,11 @@ fn connection_cap_rejects_with_busy_and_recovers() {
 fn idle_connections_are_reaped_while_active_ones_survive() {
     let (dir, store) = warm_store("idle");
     let sock = dir.join("bolt.sock");
-    let server = Server::start(
-        ServeCore::new(store),
-        ServerConfig {
-            unix: Some(sock.clone()),
-            idle_timeout: Some(Duration::from_millis(150)),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = Server::builder()
+        .unix(sock.clone())
+        .idle_timeout(Duration::from_millis(150))
+        .start(ServeCore::new(store))
+        .unwrap();
 
     // A silent raw connection: says nothing, must get EOF'd.
     let mut silent = UnixStream::connect(&sock).unwrap();
@@ -279,7 +291,7 @@ fn idle_connections_are_reaped_while_active_ones_survive() {
     // An active client pinging well inside the idle window survives the
     // whole time.
     let ep = Endpoint::Unix(sock);
-    let mut active = Client::connect(&ep).unwrap();
+    let mut active = Client::builder(&ep).pipeline_depth(1).build().unwrap();
     for _ in 0..10 {
         active
             .ping()
@@ -313,18 +325,17 @@ fn blown_request_deadline_yields_a_typed_error_and_counts() {
             .with_at(bolt_fault::site::SERVE_HANDLE_STALL, 1)
             .with_stall(Duration::from_millis(80)),
     );
-    let server = Server::start(
-        ServeCore::new(store),
-        ServerConfig {
-            unix: Some(sock.clone()),
-            request_deadline: Some(Duration::from_millis(10)),
-            fault: Some(plan),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = Server::builder()
+        .unix(sock.clone())
+        .request_deadline(Duration::from_millis(10))
+        .fault(plan)
+        .start(ServeCore::new(store))
+        .unwrap();
 
-    let mut client = Client::connect(&Endpoint::Unix(sock)).unwrap();
+    let mut client = Client::builder(&Endpoint::Unix(sock))
+        .pipeline_depth(1)
+        .build()
+        .unwrap();
     match client.query(bridge_query()) {
         Err(ServeError::Remote(m)) => {
             assert!(m.contains("deadline exceeded"), "got {m:?}")
@@ -359,22 +370,21 @@ fn seeded_transport_storm_converges_to_byte_identical_answers() {
             .with_prob(bolt_fault::site::SERVE_READ_DISCONNECT, 0.05)
             .with_prob(bolt_fault::site::SERVE_WRITE_PARTIAL, 0.15),
     );
-    let server = Server::start(
-        ServeCore::new(store),
-        ServerConfig {
-            unix: Some(sock.clone()),
-            fault: Some(plan),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let server = Server::builder()
+        .unix(sock.clone())
+        .fault(plan)
+        .start(ServeCore::new(store))
+        .unwrap();
 
     // One sequential client, so the per-site fault schedule is
     // deterministic for a given seed. Every query must *eventually*
     // come back byte-identical; transport failures in between are
     // expected and healed by reconnect-and-retry (plus this outer loop
     // for fault runs longer than the client's retry budget).
-    let mut client = Client::connect_with(&Endpoint::Unix(sock), fast_retry_config()).unwrap();
+    let mut client = Client::builder(&Endpoint::Unix(sock))
+        .config(fast_retry_config())
+        .build()
+        .unwrap();
     for round in 0..20 {
         let mut answered = false;
         for _ in 0..40 {

@@ -14,8 +14,7 @@ use bolt_expr::PcvAssignment;
 use bolt_nfs::{Bridge, Firewall};
 use bolt_serve::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
 use bolt_serve::{
-    CacheConfig, Client, Endpoint, QueryRequest, ServeCore, Server, ServerConfig, StatsReply,
-    LEGACY_STATS_NAMES,
+    CacheConfig, Client, Endpoint, QueryRequest, ServeCore, Server, StatsReply, LEGACY_STATS_NAMES,
 };
 use bolt_store::ContractStore;
 use bolt_trace::Metric;
@@ -99,15 +98,11 @@ fn cli_query_text<N: NetworkFunction + Sync>(
 }
 
 fn start_server(store: ContractStore, dir: &std::path::Path) -> Server {
-    Server::start(
-        ServeCore::new(store),
-        ServerConfig {
-            unix: Some(dir.join("bolt.sock")),
-            tcp: Some("127.0.0.1:0".to_string()),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap()
+    Server::builder()
+        .unix(dir.join("bolt.sock"))
+        .tcp("127.0.0.1:0")
+        .start(ServeCore::new(store))
+        .unwrap()
 }
 
 fn counter(stats: &StatsReply, name: &str) -> u64 {
@@ -165,7 +160,7 @@ fn concurrent_clients_match_one_shot_cli_queries() {
             unix.clone()
         };
         handles.push(std::thread::spawn(move || {
-            let mut client = Client::connect(&ep).unwrap();
+            let mut client = Client::builder(&ep).build().unwrap();
             let mut texts = Vec::new();
             for _round in 0..3 {
                 for (nf, tag, metric) in cases {
@@ -203,7 +198,7 @@ fn repeated_queries_are_pure_cache_hits() {
     let (dir, store) = warm_store("memo");
     let server = start_server(store, &dir);
     let ep = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
-    let mut client = Client::connect(&ep).unwrap();
+    let mut client = Client::builder(&ep).build().unwrap();
     let q = QueryRequest {
         nf: "bridge".to_string(),
         level: level_tag(StackLevel::NfOnly),
@@ -242,7 +237,9 @@ fn metrics_snapshot_spans_every_layer_over_the_socket() {
     let (dir, store) = warm_store("metrics");
     let server = start_server(store, &dir);
     let ep = Endpoint::Unix(server.unix_path().unwrap().to_path_buf());
-    let mut client = Client::connect(&ep).unwrap();
+    // Depth 1 skips Hello entirely: the exact per-phase counts below
+    // are the PR 6 wire contract, frame for frame.
+    let mut client = Client::builder(&ep).pipeline_depth(1).build().unwrap();
     client.ping().unwrap();
     let q = QueryRequest {
         nf: "bridge".to_string(),
@@ -359,7 +356,9 @@ fn malformed_frames_do_not_kill_the_server() {
     assert_eq!(hostile.read(&mut probe).unwrap(), 0, "connection closed");
 
     // A service-level error (unknown NF) is an error frame, not a crash.
-    let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+    let mut client = Client::builder(&Endpoint::Tcp(addr.to_string()))
+        .build()
+        .unwrap();
     let err = client
         .query(QueryRequest {
             nf: "tor".to_string(),
@@ -412,7 +411,7 @@ fn shutdown_drains_requests_received_before_the_flag() {
     // Give the frames time to reach the per-connection threads, then
     // ask for shutdown.
     std::thread::sleep(std::time::Duration::from_millis(150));
-    let mut killer = Client::connect(&Endpoint::Unix(sock)).unwrap();
+    let mut killer = Client::builder(&Endpoint::Unix(sock)).build().unwrap();
     killer.shutdown().unwrap();
     // Every request written before the shutdown still gets its answer,
     // and all answers agree.

@@ -31,8 +31,6 @@
 
 use std::collections::BTreeSet;
 use std::process::exit;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use bolt::core::store::{level_tag, store_key, RecordKind, StoreExt};
 use bolt::core::{ClassSpec, InputClass, NfContract, Pipeline};
@@ -41,8 +39,8 @@ use bolt::nfs::nat::{AllocKind, NatConfig};
 use bolt::nfs::{Bridge, ExampleRouter, Firewall, LoadBalancer, LpmRouter, Nat, StaticRouter};
 use bolt::see::StackLevel;
 use bolt::serve::{
-    CacheConfig, Client, ClientConfig, DiffRequest, Endpoint, MetricsReply, QueryRequest,
-    ServeCore, Server, ServerConfig,
+    CacheConfig, Client, DiffRequest, Endpoint, MetricsReply, QueryRequest, Request, Response,
+    ServeCore, Server,
 };
 use bolt::trace::Metric;
 use bolt::{ContractStore, NetworkFunction};
@@ -115,6 +113,7 @@ fn usage() -> ! {
          \x20 explore  --nf NAME | --all   [--level nf-only|full-stack|both] [--store DIR]\n\
          \x20 list     [--store DIR | --remote EP]\n\
          \x20 query    --nf NAME [--level L] [--metric M] [--pcv name=val]... [--tag TAG] [--store DIR | --remote EP]\n\
+         \x20          [--depth N] [--repeat N]   (remote only: pipeline depth, repeated pipelined queries)\n\
          \x20 chain    --nfs A,B[,C...] [--level L] [--metric M] [--tag TAG] [--threads N]\n\
          \x20          [--parallelize] [--plan] [--json] [--store DIR]\n\
          \x20 diff     --a NF[:LEVEL] --b NF[:LEVEL] [--metric M] [--store DIR | --remote EP]\n\
@@ -185,6 +184,8 @@ struct Opts {
     tcp: Option<String>,
     cache_budget: Option<u64>,
     timeout: Option<u64>,
+    depth: Option<u32>,
+    repeat: Option<usize>,
     max_conns: Option<usize>,
     idle_timeout: Option<u64>,
     deadline: Option<u64>,
@@ -248,6 +249,19 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.timeout = Some(
                     v.parse::<u64>()
                         .unwrap_or_else(|_| die(&format!("bad --timeout {v:?} (want seconds)"))),
+                );
+            }
+            "--depth" => {
+                let v = val("--depth");
+                o.depth = Some(v.parse::<u32>().unwrap_or_else(|_| {
+                    die(&format!("bad --depth {v:?} (want a pipeline depth ≥ 1)"))
+                }));
+            }
+            "--repeat" => {
+                let v = val("--repeat");
+                o.repeat = Some(
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| die(&format!("bad --repeat {v:?} (want a count)"))),
                 );
             }
             "--max-conns" => {
@@ -349,15 +363,25 @@ fn cmd_explore(o: &Opts) {
     }
 }
 
-/// Connect to a serving endpoint named by `--remote`, honouring
-/// `--timeout SECS` as the per-call reply deadline.
-fn remote_client(o: &Opts, ep: &str) -> Client {
+/// Builder for a serving endpoint named by `--remote`, honouring
+/// `--timeout SECS` as the per-call reply deadline and `--depth N` as
+/// the pipeline depth to negotiate.
+fn remote_builder(o: &Opts, ep: &str) -> bolt::serve::ClientBuilder {
     let endpoint = Endpoint::parse(ep).unwrap_or_else(|e| die(&e.to_string()));
-    let mut config = ClientConfig::default();
+    let mut b = Client::builder(&endpoint);
     if let Some(secs) = o.timeout {
-        config.deadline = std::time::Duration::from_secs(secs.max(1));
+        b = b.deadline(std::time::Duration::from_secs(secs.max(1)));
     }
-    Client::connect_with(&endpoint, config)
+    if let Some(depth) = o.depth {
+        b = b.pipeline_depth(depth.max(1));
+    }
+    b
+}
+
+/// Connect to a serving endpoint named by `--remote`.
+fn remote_client(o: &Opts, ep: &str) -> Client {
+    remote_builder(o, ep)
+        .build()
         .unwrap_or_else(|e| die(&format!("cannot connect to {ep}: {e}")))
 }
 
@@ -455,9 +479,33 @@ fn cmd_query(o: &Opts) {
             tag: o.tag.clone(),
             pcvs: o.pcvs.clone(),
         };
-        match remote_client(o, ep).query(req) {
-            Ok(reply) => print!("{}", reply.text),
-            Err(e) => die(&e.to_string()),
+        let repeat = o.repeat.unwrap_or(1).max(1);
+        if repeat == 1 {
+            match remote_client(o, ep).query(req) {
+                Ok(reply) => print!("{}", reply.text),
+                Err(e) => die(&e.to_string()),
+            }
+            return;
+        }
+        // A pipelined burst on one connection: submit everything up
+        // front, then drain the replies in submission order.
+        let mut session = remote_builder(o, ep)
+            .session()
+            .unwrap_or_else(|e| die(&format!("cannot connect to {ep}: {e}")));
+        let wire = Request::Query(req);
+        let mut tickets = Vec::with_capacity(repeat);
+        for _ in 0..repeat {
+            match session.submit(&wire) {
+                Ok(t) => tickets.push(t),
+                Err(e) => die(&e.to_string()),
+            }
+        }
+        for t in tickets {
+            match session.recv(t) {
+                Ok(Response::Query(reply)) => print!("{}", reply.text),
+                Ok(other) => die(&format!("unexpected reply {other:?}")),
+                Err(e) => die(&e.to_string()),
+            }
         }
         return;
     }
@@ -679,18 +727,28 @@ fn cmd_serve(o: &Opts) {
         (None, None) => Some(default_sock),
         (None, Some(_)) => None,
     };
-    let server = Server::start(
-        core,
-        ServerConfig {
-            unix,
-            tcp: o.tcp.clone(),
-            max_connections: o.max_conns.unwrap_or(0),
-            idle_timeout: o.idle_timeout.map(std::time::Duration::from_secs),
-            request_deadline: o.deadline.map(std::time::Duration::from_secs),
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    let mut builder = Server::builder().max_connections(o.max_conns.unwrap_or(0));
+    if let Some(p) = unix {
+        builder = builder.unix(p);
+    }
+    if let Some(t) = &o.tcp {
+        builder = builder.tcp(t.clone());
+    }
+    if let Some(secs) = o.idle_timeout {
+        builder = builder.idle_timeout(std::time::Duration::from_secs(secs));
+    }
+    if let Some(secs) = o.deadline {
+        builder = builder.request_deadline(std::time::Duration::from_secs(secs));
+    }
+    if let Some(depth) = o.depth {
+        builder = builder.max_pipeline_depth(depth.max(1));
+    }
+    if let Some(path) = &o.metrics_text {
+        builder = builder.metrics_text(path);
+    }
+    let server = builder
+        .start(core)
+        .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
     println!("serving store at {store_dir:?}");
     if let Some(p) = server.unix_path() {
         println!("  unix socket : {}", p.display());
@@ -698,33 +756,14 @@ fn cmd_serve(o: &Opts) {
     if let Some(a) = server.tcp_addr() {
         println!("  tcp         : tcp:{a}");
     }
-    // Prometheus textfile exporter: rewrite the exposition once a
-    // second while serving, and once more after the drain so the final
-    // file reflects every request answered.
-    let exporter = o.metrics_text.as_ref().map(|path| {
-        let path = std::path::PathBuf::from(path);
-        println!("  metrics     : {} (Prometheus text)", path.display());
-        let core = Arc::clone(server.core());
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || loop {
-            write_metrics_text(&path, &core);
-            for _ in 0..10 {
-                if flag.load(Ordering::SeqCst) {
-                    write_metrics_text(&path, &core);
-                    return;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(100));
-            }
-        });
-        (stop, handle)
-    });
+    // The Prometheus textfile exporter now lives in the server itself
+    // (`ServerBuilder::metrics_text`): once a second while serving,
+    // once more after the drain.
+    if let Some(path) = &o.metrics_text {
+        println!("  metrics     : {path} (Prometheus text)");
+    }
     println!("stop with: bolt_cli shutdown --remote <endpoint>");
     let core = server.join();
-    if let Some((stop, handle)) = exporter {
-        stop.store(true, Ordering::SeqCst);
-        let _ = handle.join();
-    }
     let stats = core.stats_reply();
     let read = |n: &str| stats.get(n).unwrap_or(0);
     println!(
@@ -768,13 +807,14 @@ fn cmd_ping(o: &Opts) {
         Ok(ep) => ep,
         Err(e) => die(&e.to_string()), // malformed spec IS a usage error
     };
-    let config = ClientConfig {
-        deadline: std::time::Duration::from_secs(o.timeout.unwrap_or(5).max(1)),
-        connect_timeout: std::time::Duration::from_secs(o.timeout.unwrap_or(5).max(1)),
-        retries: 0, // a probe reports the truth right now; no masking
-        ..ClientConfig::default()
-    };
-    match Client::connect_with(&endpoint, config).and_then(|mut c| c.ping()) {
+    let wait = std::time::Duration::from_secs(o.timeout.unwrap_or(5).max(1));
+    let probe = Client::builder(&endpoint)
+        .deadline(wait)
+        .connect_timeout(wait)
+        .retries(0) // a probe reports the truth right now; no masking
+        .pipeline_depth(1) // and no negotiation round trip either
+        .build();
+    match probe.and_then(|mut c| c.ping()) {
         Ok(version) => {
             println!("{ep}: alive (server v{version})");
         }
@@ -782,16 +822,6 @@ fn cmd_ping(o: &Opts) {
             eprintln!("bolt: {ep}: {e}");
             exit(1);
         }
-    }
-}
-
-/// Atomically (tmp + rename) write the server's Prometheus text
-/// exposition; best-effort, a failed write never takes the server down.
-fn write_metrics_text(path: &std::path::Path, core: &ServeCore) {
-    let text = core.metrics().snapshot().to_prometheus();
-    let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, text).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
     }
 }
 
